@@ -1,0 +1,473 @@
+// Benchmarks regenerating the paper's evaluation (one bench per table
+// or figure) plus component and ablation benchmarks for the design
+// decisions called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package nids
+
+import (
+	"net/netip"
+	"testing"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/emu"
+	"semnids/internal/exploits"
+	"semnids/internal/extract"
+	"semnids/internal/ir"
+	"semnids/internal/morph"
+	"semnids/internal/netpkt"
+	"semnids/internal/polymorph"
+	"semnids/internal/reasm"
+	"semnids/internal/sem"
+	"semnids/internal/shellcode"
+	"semnids/internal/sigmatch"
+	"semnids/internal/traffic"
+	"semnids/internal/x86"
+)
+
+func coreCfg() core.Config {
+	return core.Config{
+		Classify: classify.Config{
+			Honeypots:     []netip.Addr{traffic.HoneypotAddr},
+			DarkSpace:     []netip.Prefix{traffic.DarkNet},
+			ScanThreshold: 3,
+		},
+	}
+}
+
+// BenchmarkTable1ShellSpawn measures end-to-end analysis (extraction +
+// disassembly + IR + template matching) per Table 1 exploit.
+func BenchmarkTable1ShellSpawn(b *testing.B) {
+	for _, e := range exploits.Table1Exploits() {
+		b.Run(e.Name, func(b *testing.B) {
+			b.SetBytes(int64(len(e.Payload)))
+			for i := 0; i < b.N; i++ {
+				ds := core.AnalyzePayload(e.Payload)
+				if len(ds) == 0 {
+					b.Fatal("exploit not detected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Netsky measures the host-scan of a virus-sized (22 KB)
+// binary — the paper reports ~6.5s on a P4 versus ~40s for [5].
+func BenchmarkTable1Netsky(b *testing.B) {
+	bin := exploits.NetskyBinary(1, 22*1024)
+	b.SetBytes(int64(len(bin)))
+	for i := 0; i < b.N; i++ {
+		ds := core.AnalyzeBytes(bin, nil, nil)
+		if len(ds) == 0 {
+			b.Fatal("netsky decryptor not detected")
+		}
+	}
+}
+
+// BenchmarkTable1NetskyExhaustiveBaseline is the [5]-style whole-input
+// scan: every disassembly offset, no pruning. Compare with
+// BenchmarkTable1Netsky for the paper's ~6x efficiency claim.
+func BenchmarkTable1NetskyExhaustiveBaseline(b *testing.B) {
+	bin := exploits.NetskyBinary(1, 22*1024)
+	offsets := make([]int, 16)
+	for i := range offsets {
+		offsets[i] = i
+	}
+	b.SetBytes(int64(len(bin)))
+	for i := 0; i < b.N; i++ {
+		core.AnalyzeBytes(bin, nil, offsets)
+	}
+}
+
+// BenchmarkTable2ADMmutate measures semantic analysis of ADMmutate
+// samples with the full template set (Table 2: 100/100).
+func BenchmarkTable2ADMmutate(b *testing.B) {
+	eng := polymorph.NewADMmutate(20060612)
+	payload := shellcode.ClassicPush().Bytes
+	samples := make([][]byte, 64)
+	for i := range samples {
+		s, _, err := eng.Encode(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples[i] = s
+	}
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		if len(a.AnalyzeFrame(s)) == 0 {
+			b.Fatal("sample not detected")
+		}
+	}
+}
+
+// BenchmarkTable2Clet measures semantic analysis of Clet samples with
+// the xor template (Table 2: 100/100).
+func BenchmarkTable2Clet(b *testing.B) {
+	eng := polymorph.NewClet(1999)
+	payload := shellcode.ClassicPush().Bytes
+	samples := make([][]byte, 64)
+	for i := range samples {
+		s, _, err := eng.Encode(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples[i] = s
+	}
+	a := sem.NewAnalyzer(sem.XorOnlyTemplates())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		if len(a.AnalyzeFrame(s)) == 0 {
+			b.Fatal("sample not detected")
+		}
+	}
+}
+
+// BenchmarkTable2IISASP measures the iis-asp-overflow analysis (paper:
+// 2.14 s on the P4).
+func BenchmarkTable2IISASP(b *testing.B) {
+	e := exploits.IISASPOverflow()
+	b.SetBytes(int64(len(e.Payload)))
+	for i := 0; i < b.N; i++ {
+		found := false
+		for _, d := range core.AnalyzePayload(e.Payload) {
+			if d.Template == "xor-decrypt-loop" {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatal("decryptor not detected")
+		}
+	}
+}
+
+// BenchmarkTable3CodeRedTrace runs the full pipeline over a Table 3
+// style trace (benign background + Code Red II instances from scanning
+// sources). Bytes/op reflects packet payload throughput.
+func BenchmarkTable3CodeRedTrace(b *testing.B) {
+	spec := traffic.TraceSpec{Seed: 3, BenignSessions: 400, CodeRedInstances: 3}
+	pkts := traffic.Synthesize(spec)
+	var total int64
+	for _, p := range pkts {
+		total += int64(len(p.Payload))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := core.New(coreCfg())
+		for _, p := range pkts {
+			n.ProcessPacket(p)
+		}
+		n.Flush()
+		crii := 0
+		seen := map[netip.Addr]bool{}
+		for _, a := range n.Alerts() {
+			if a.Detection.Template == "code-red-ii" && !seen[a.Src] {
+				seen[a.Src] = true
+				crii++
+			}
+		}
+		if crii != 3 {
+			b.Fatalf("detected %d instances, want 3", crii)
+		}
+	}
+}
+
+// BenchmarkFalsePositiveScan measures §5.4 throughput: classification
+// disabled, every benign payload analyzed; any alert fails the bench.
+func BenchmarkFalsePositiveScan(b *testing.B) {
+	g := traffic.NewGen(55)
+	var pkts []*netpkt.Packet
+	var total int64
+	for i := 0; i < 300; i++ {
+		for _, p := range g.BenignSession() {
+			pkts = append(pkts, p)
+			total += int64(len(p.Payload))
+		}
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := coreCfg()
+		cfg.Classify.Disabled = true
+		n := core.New(cfg)
+		for _, p := range pkts {
+			n.ProcessPacket(p)
+		}
+		n.Flush()
+		if a := n.Alerts(); len(a) != 0 {
+			b.Fatalf("false positives: %v", a)
+		}
+	}
+}
+
+// BenchmarkPipelineVsFullScan is the ablation for DESIGN.md decision 1
+// (extraction pruning): the same mixed trace through the classified,
+// extraction-pruned pipeline versus the everything-analyzed fullscan.
+func BenchmarkPipelineVsFullScan(b *testing.B) {
+	spec := traffic.TraceSpec{Seed: 4, BenignSessions: 200, CodeRedInstances: 2}
+	pkts := traffic.Synthesize(spec)
+	run := func(b *testing.B, fullScan bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := coreCfg()
+			cfg.FullScan = fullScan
+			n := core.New(cfg)
+			for _, p := range pkts {
+				n.ProcessPacket(p)
+			}
+			n.Flush()
+		}
+	}
+	b.Run("pruned-pipeline", func(b *testing.B) { run(b, false) })
+	b.Run("fullscan-baseline", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPipelineParallelism is the ablation for DESIGN.md decision 5
+// (concurrent analysis workers).
+func BenchmarkPipelineParallelism(b *testing.B) {
+	g := traffic.NewGen(66)
+	var pkts []*netpkt.Packet
+	for _, e := range exploits.Table1Exploits() {
+		pkts = append(pkts, g.ExploitAtHoneypot(g.RandClient(), e.DstPort, e.Payload)...)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := coreCfg()
+				cfg.Workers = workers
+				n := core.New(cfg)
+				for _, p := range pkts {
+					n.ProcessPacket(p)
+				}
+				n.Flush()
+			}
+		})
+	}
+}
+
+// BenchmarkSigmatchBaseline measures the syntactic baseline for
+// contrast: fast, but blind to the polymorphic workloads above.
+func BenchmarkSigmatchBaseline(b *testing.B) {
+	m := sigmatch.NewMatcher(sigmatch.DefaultSignatures())
+	e := exploits.Table1Exploits()[0]
+	b.SetBytes(int64(len(e.Payload)))
+	for i := 0; i < b.N; i++ {
+		if len(m.Match(e.Payload)) == 0 {
+			b.Fatal("baseline missed cleartext exploit")
+		}
+	}
+}
+
+// --- Component benchmarks ---
+
+// BenchmarkDecode measures raw instruction decode throughput.
+func BenchmarkDecode(b *testing.B) {
+	code := exploits.NetskyBinary(2, 8*1024)
+	b.SetBytes(int64(len(code)))
+	for i := 0; i < b.N; i++ {
+		x86.SweepAll(code)
+	}
+}
+
+// BenchmarkLift measures IR lifting (threading + constant propagation
+// + def/use) throughput.
+func BenchmarkLift(b *testing.B) {
+	code := exploits.NetskyBinary(2, 8*1024)
+	insts := x86.SweepAll(code)
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir.Lift(insts)
+	}
+}
+
+// BenchmarkTemplateMatch measures the matcher alone over a lifted
+// polymorphic sample.
+func BenchmarkTemplateMatch(b *testing.B) {
+	eng := polymorph.NewADMmutate(9)
+	sample, _, err := eng.Encode(shellcode.ClassicPush().Bytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	b.SetBytes(int64(len(sample)))
+	for i := 0; i < b.N; i++ {
+		if len(a.AnalyzeFrame(sample)) == 0 {
+			b.Fatal("not detected")
+		}
+	}
+}
+
+// BenchmarkExtract measures the binary detection and extraction stage
+// over the Code Red II request.
+func BenchmarkExtract(b *testing.B) {
+	req := exploits.CodeRedIIRequest()
+	b.SetBytes(int64(len(req)))
+	for i := 0; i < b.N; i++ {
+		if len(extract.Extract(req)) == 0 {
+			b.Fatal("nothing extracted")
+		}
+	}
+}
+
+// BenchmarkExtractBenign measures the pruning fast-path: a benign
+// request must be rejected cheaply.
+func BenchmarkExtractBenign(b *testing.B) {
+	req := []byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n")
+	b.SetBytes(int64(len(req)))
+	for i := 0; i < b.N; i++ {
+		if len(extract.Extract(req)) != 0 {
+			b.Fatal("benign extracted")
+		}
+	}
+}
+
+// BenchmarkReassembly measures TCP stream reassembly throughput.
+func BenchmarkReassembly(b *testing.B) {
+	g := traffic.NewGen(77)
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	pkts := g.TCPSession(g.RandClient(), traffic.WebServer, 80, payload, nil)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := reasm.New()
+		for _, p := range pkts {
+			a.Feed(p)
+		}
+	}
+}
+
+// BenchmarkPolymorphEncode measures sample generation cost.
+func BenchmarkPolymorphEncode(b *testing.B) {
+	eng := polymorph.NewADMmutate(10)
+	payload := shellcode.ClassicPush().Bytes
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMorphMutate measures the metamorphic engine (decode,
+// rewrite, relayout, branch fixup) over a corpus payload.
+func BenchmarkMorphMutate(b *testing.B) {
+	m := morph.New(10)
+	payload := shellcode.ClassicPush().Bytes
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mutate(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMorphedVariantDetection measures end-to-end analysis of
+// metamorphic variants — template robustness at benchmark scale.
+func BenchmarkMorphedVariantDetection(b *testing.B) {
+	m := morph.New(11)
+	payload := shellcode.ClassicPush().Bytes
+	samples := make([][]byte, 32)
+	for i := range samples {
+		s, err := m.Mutate(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples[i] = s
+	}
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		for _, d := range a.AnalyzeFrame(samples[i%len(samples)]) {
+			if d.Template == "linux-shell-spawn" {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatal("morphed variant missed")
+		}
+	}
+}
+
+// BenchmarkEmulateSample measures dynamic execution of a polymorphic
+// sample to its execve (the validation tier's cost).
+func BenchmarkEmulateSample(b *testing.B) {
+	eng := polymorph.NewADMmutate(14)
+	sample, _, err := eng.Encode(shellcode.ClassicPush().Bytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(sample)))
+	for i := 0; i < b.N; i++ {
+		m := emu.New(sample)
+		stop, err := m.Run(0)
+		if err != nil || stop.Sysnum != 0xb {
+			b.Fatalf("stop=%+v err=%v", stop, err)
+		}
+	}
+}
+
+// BenchmarkEmailWormScan measures SMTP attachment extraction plus
+// analysis of a packed 16 KB attachment.
+func BenchmarkEmailWormScan(b *testing.B) {
+	g := traffic.NewGen(12)
+	worm := exploits.NetskyBinary(4, 16*1024)
+	pkts := g.InfectedMailSession(g.RandClient(), worm)
+	var payload []byte
+	for _, p := range pkts {
+		if p.DstPort == 25 {
+			payload = append(payload, p.Payload...)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames := extract.Extract(payload)
+		if len(frames) == 0 {
+			b.Fatal("attachment not extracted")
+		}
+		found := false
+		for _, f := range frames {
+			for _, d := range core.AnalyzeBytes(f.Data, nil, nil) {
+				if d.Template == "xor-decrypt-loop" {
+					found = true
+				}
+			}
+		}
+		if !found {
+			b.Fatal("worm not detected")
+		}
+	}
+}
+
+// BenchmarkPcapWrite measures trace serialization.
+func BenchmarkPcapWrite(b *testing.B) {
+	pkts := traffic.Synthesize(traffic.TraceSpec{Seed: 8, BenignSessions: 50})
+	var total int64
+	for _, p := range pkts {
+		total += int64(len(p.Payload))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := netpkt.NewPcapWriter(discard{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

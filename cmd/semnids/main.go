@@ -1,0 +1,121 @@
+// Command semnids runs the semantics-aware NIDS over a pcap trace and
+// prints alerts and pipeline statistics.
+//
+// Usage:
+//
+//	semnids -pcap trace.pcap [-honeypot 192.168.1.250] [-dark 192.168.2.0/24]
+//	        [-all] [-fullscan] [-workers N]
+//
+// With -all the classifier is disabled and every payload is analyzed
+// (the paper's Section 5.4 configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	nids "semnids"
+	"semnids/internal/report"
+)
+
+func main() {
+	var (
+		pcapPath  = flag.String("pcap", "", "pcap trace to analyze")
+		scanPath  = flag.String("scan", "", "binary file to host-scan instead of a trace")
+		honeypots = flag.String("honeypot", "192.168.1.250", "comma-separated decoy addresses")
+		dark      = flag.String("dark", "192.168.2.0/24", "comma-separated un-used CIDR prefixes")
+		threshold = flag.Int("t", 3, "dark-space scan threshold")
+		all       = flag.Bool("all", false, "disable classification: analyze every payload")
+		fullscan  = flag.Bool("fullscan", false, "disable extraction pruning too (exhaustive baseline)")
+		workers   = flag.Int("workers", 0, "analysis workers (0 = NumCPU)")
+		quiet     = flag.Bool("q", false, "suppress per-alert output")
+		jsonOut   = flag.Bool("json", false, "emit alerts as JSONL instead of text")
+		summary   = flag.Bool("summary", false, "print a per-source incident summary at exit")
+		tplFile   = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
+	)
+	flag.Parse()
+	if *scanPath != "" {
+		hostScan(*scanPath)
+		return
+	}
+	if *pcapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := nids.Config{
+		ScanThreshold:         *threshold,
+		DisableClassification: *all,
+		FullScan:              *fullscan,
+		Workers:               *workers,
+	}
+	if *honeypots != "" {
+		cfg.Honeypots = strings.Split(*honeypots, ",")
+	}
+	if *dark != "" {
+		cfg.DarkSpace = strings.Split(*dark, ",")
+	}
+	if !*quiet && !*jsonOut {
+		cfg.OnAlert = func(a nids.Alert) { fmt.Println(a) }
+	}
+	if *tplFile != "" {
+		text, err := os.ReadFile(*tplFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+		cfg.TemplatesDSL = string(text)
+	}
+
+	n, err := nids.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := n.ProcessPcap(f); err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, n.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+	}
+	if *summary {
+		fmt.Println()
+		if err := report.WriteSummary(os.Stdout, n.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+	}
+	m := n.Stats()
+	fmt.Printf("\npackets=%d selected=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
+		m.Packets, m.Selected, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
+}
+
+// hostScan analyzes an on-disk binary with the semantic stages only —
+// the configuration used for the paper's Netsky comparison.
+func hostScan(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	ds := nids.AnalyzeBytes(data)
+	fmt.Printf("%s: %d bytes, %d detections\n", path, len(data), len(ds))
+	for _, d := range ds {
+		fmt.Printf("  %-28s %-8s at %v  %v\n", d.Template, d.Severity, d.Addrs, d.Bindings)
+	}
+	if len(ds) > 0 {
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,59 @@
+// Command templatecheck validates a template file in the DSL format,
+// normalizes it (parse + reformat), and optionally tests it against a
+// binary sample.
+//
+// Usage:
+//
+//	templatecheck -f templates.txt            # validate and normalize
+//	templatecheck -f templates.txt -test x.bin # also match against a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semnids/internal/sem"
+)
+
+func main() {
+	var (
+		file   = flag.String("f", "", "template file to validate (required)")
+		sample = flag.String("test", "", "binary file to match the templates against")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tpls, err := sem.ParseTemplates(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d templates ok\n", len(tpls))
+	if err := sem.FormatTemplates(os.Stdout, tpls); err != nil {
+		fatal(err)
+	}
+	if *sample != "" {
+		data, err := os.ReadFile(*sample)
+		if err != nil {
+			fatal(err)
+		}
+		a := sem.NewAnalyzer(tpls)
+		ds := a.AnalyzeFrame(data)
+		fmt.Fprintf(os.Stderr, "\n%s: %d detections\n", *sample, len(ds))
+		for _, d := range ds {
+			fmt.Fprintf(os.Stderr, "  %s at %v %v\n", d.Template, d.Addrs, d.Bindings)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "templatecheck:", err)
+	os.Exit(1)
+}

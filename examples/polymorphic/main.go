@@ -1,0 +1,65 @@
+// Polymorphic shellcode hunt: generate 100 ADMmutate-style and 100
+// Clet-style samples of the same shell-spawning payload, then show
+// why static signatures fail where the semantic templates succeed —
+// the paper's Table 2 experiment in miniature.
+//
+//	go run ./examples/polymorphic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nids "semnids"
+	"semnids/internal/polymorph"
+	"semnids/internal/shellcode"
+	"semnids/internal/sigmatch"
+)
+
+func main() {
+	payload := shellcode.ClassicPush().Bytes
+	static := sigmatch.NewMatcher(sigmatch.DefaultSignatures())
+
+	fmt.Println("cleartext payload:")
+	fmt.Printf("  static signatures: %v\n", static.Match(payload))
+	fmt.Printf("  semantic analysis: %s\n\n", names(nids.AnalyzeBytes(payload)))
+
+	engines := []struct {
+		name   string
+		encode func([]byte) ([]byte, polymorph.Meta, error)
+	}{
+		{"ADMmutate", polymorph.NewADMmutate(7).Encode},
+		{"Clet", polymorph.NewClet(7).Encode},
+	}
+	for _, eng := range engines {
+		staticHits, semanticHits := 0, 0
+		schemes := map[string]int{}
+		for i := 0; i < 100; i++ {
+			sample, meta, err := eng.encode(payload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			schemes[meta.Scheme.String()]++
+			if len(static.Match(sample)) > 0 {
+				staticHits++
+			}
+			for _, d := range nids.AnalyzeBytes(sample) {
+				if d.Template == "xor-decrypt-loop" || d.Template == "admmutate-alt-decode-loop" {
+					semanticHits++
+					break
+				}
+			}
+		}
+		fmt.Printf("%s (100 samples, schemes %v):\n", eng.name, schemes)
+		fmt.Printf("  static signatures detected:  %3d/100\n", staticHits)
+		fmt.Printf("  semantic templates detected: %3d/100\n\n", semanticHits)
+	}
+}
+
+func names(ds []nids.Detection) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Template)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package classify implements the paper's traffic classification stage
+// (Section 4.1): deciding which packets are "interesting" enough to be
+// passed to the CPU-intensive binary extraction and semantic analysis
+// stages. Two schemes are implemented, exactly as in the prototype:
+//
+//  1. Honeypot: a configured list of decoy addresses that exist only to
+//     attract unsolicited traffic. Any host that sends anything to a
+//     decoy is suspicious from then on.
+//  2. Dark address space: the network's unused address ranges are
+//     registered; a source that touches t distinct unused addresses is
+//     considered a scanner and all its subsequent traffic is analyzed.
+package classify
+
+import (
+	"net/netip"
+	"sync"
+
+	"semnids/internal/netpkt"
+)
+
+// Reason explains why a packet was selected for analysis.
+type Reason string
+
+const (
+	ReasonNone       Reason = ""
+	ReasonHoneypot   Reason = "destination is a honeypot decoy"
+	ReasonScanner    Reason = "source exceeded dark-space scan threshold"
+	ReasonSuspicious Reason = "source previously marked suspicious"
+	ReasonAll        Reason = "classification disabled"
+)
+
+// Config parameterizes the classifier.
+type Config struct {
+	// Honeypots are decoy addresses registered with the NIDS.
+	Honeypots []netip.Addr
+
+	// DarkSpace lists the un-used address prefixes of the protected
+	// network.
+	DarkSpace []netip.Prefix
+
+	// ScanThreshold is t: the number of distinct dark addresses a
+	// source must touch to be declared a scanner. Default 3.
+	ScanThreshold int
+
+	// SuspiciousTTLUS is how long (in trace microseconds) a source
+	// stays suspicious after its last triggering event. Default 10
+	// minutes.
+	SuspiciousTTLUS uint64
+
+	// Disabled forwards every packet to analysis (the Section 5.4
+	// false-positive experiment).
+	Disabled bool
+}
+
+// Classifier tracks per-source state and renders verdicts. It is safe
+// for concurrent use.
+type Classifier struct {
+	cfg Config
+
+	mu         sync.Mutex
+	honeypots  map[netip.Addr]bool
+	suspicious map[netip.Addr]uint64 // source -> expiry timestamp
+	darkSeen   map[netip.Addr]map[netip.Addr]bool
+
+	// Counters for metrics.
+	total, selected uint64
+}
+
+// New builds a classifier from cfg.
+func New(cfg Config) *Classifier {
+	if cfg.ScanThreshold <= 0 {
+		cfg.ScanThreshold = 3
+	}
+	if cfg.SuspiciousTTLUS == 0 {
+		cfg.SuspiciousTTLUS = 10 * 60 * 1e6
+	}
+	c := &Classifier{
+		cfg:        cfg,
+		honeypots:  make(map[netip.Addr]bool, len(cfg.Honeypots)),
+		suspicious: make(map[netip.Addr]uint64),
+		darkSeen:   make(map[netip.Addr]map[netip.Addr]bool),
+	}
+	for _, h := range cfg.Honeypots {
+		c.honeypots[h] = true
+	}
+	return c
+}
+
+func (c *Classifier) inDarkSpace(a netip.Addr) bool {
+	for _, p := range c.cfg.DarkSpace {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify examines one packet and reports whether it should be
+// analyzed, with the triggering reason.
+func (c *Classifier) Classify(p *netpkt.Packet) (bool, Reason) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if c.cfg.Disabled {
+		c.selected++
+		return true, ReasonAll
+	}
+
+	now := p.TimestampUS
+	src := p.SrcIP
+
+	// Scheme 1: honeypot decoys.
+	if c.honeypots[p.DstIP] {
+		c.suspicious[src] = now + c.cfg.SuspiciousTTLUS
+		c.selected++
+		return true, ReasonHoneypot
+	}
+
+	// Scheme 2: dark address space scanning.
+	if c.inDarkSpace(p.DstIP) {
+		seen := c.darkSeen[src]
+		if seen == nil {
+			seen = make(map[netip.Addr]bool)
+			c.darkSeen[src] = seen
+		}
+		seen[p.DstIP] = true
+		if len(seen) >= c.cfg.ScanThreshold {
+			c.suspicious[src] = now + c.cfg.SuspiciousTTLUS
+			c.selected++
+			return true, ReasonScanner
+		}
+	}
+
+	// Previously marked sources stay interesting until expiry.
+	if expiry, ok := c.suspicious[src]; ok {
+		if now <= expiry {
+			// Refresh: an active attacker stays on the list.
+			c.suspicious[src] = now + c.cfg.SuspiciousTTLUS
+			c.selected++
+			return true, ReasonSuspicious
+		}
+		delete(c.suspicious, src)
+		delete(c.darkSeen, src)
+	}
+	return false, ReasonNone
+}
+
+// MarkSuspicious force-registers a source (used when an alert fires,
+// so follow-on traffic from the attacker is captured).
+func (c *Classifier) MarkSuspicious(src netip.Addr, nowUS uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.suspicious[src] = nowUS + c.cfg.SuspiciousTTLUS
+}
+
+// SuspiciousCount reports the current registry size.
+func (c *Classifier) SuspiciousCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.suspicious)
+}
+
+// Stats returns (total packets seen, packets selected for analysis).
+func (c *Classifier) Stats() (total, selected uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, c.selected
+}

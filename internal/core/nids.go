@@ -1,0 +1,372 @@
+// Package core assembles the paper's five-stage NIDS (Figure 3):
+// traffic classifier → binary detection and extraction → disassembler
+// → intermediate representation → semantic analyzer. Packets are fed
+// from a single goroutine (a capture loop or a pcap reader); the
+// CPU-intensive analysis stages run on a worker pool.
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semnids/internal/classify"
+	"semnids/internal/extract"
+	"semnids/internal/netpkt"
+	"semnids/internal/reasm"
+	"semnids/internal/sem"
+)
+
+// Alert is one detection event attributed to a flow.
+type Alert struct {
+	TimestampUS uint64
+	Src, Dst    netip.Addr
+	SrcPort     uint16
+	DstPort     uint16
+	Reason      classify.Reason
+	FrameSource string
+	Detection   sem.Detection
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("[%d.%06d] %s:%d -> %s:%d %s (%s, via %s)",
+		a.TimestampUS/1e6, a.TimestampUS%1e6,
+		a.Src, a.SrcPort, a.Dst, a.DstPort,
+		a.Detection.Template, a.Detection.Severity, a.FrameSource)
+}
+
+// Metrics counts pipeline activity. All fields are read with Snapshot.
+type Metrics struct {
+	Packets         uint64
+	Selected        uint64
+	StreamsAnalyzed uint64
+	Frames          uint64
+	FrameBytes      uint64
+	Alerts          uint64
+}
+
+// Config parameterizes the NIDS.
+type Config struct {
+	// Classify configures the traffic classification stage.
+	Classify classify.Config
+
+	// Templates is the semantic template set (default: the paper's
+	// built-in set).
+	Templates []*sem.Template
+
+	// Workers is the number of concurrent semantic-analysis workers
+	// (default: GOMAXPROCS).
+	Workers int
+
+	// FullScan disables classification pruning AND binary extraction:
+	// every payload byte of every packet is disassembled and matched,
+	// approximating the exhaustive host-based analysis of [5]. Used
+	// as the efficiency baseline.
+	FullScan bool
+
+	// SweepOffsets overrides the analyzer's disassembly start offsets.
+	SweepOffsets []int
+
+	// MinAnalyzeBytes is the stream size that triggers a first
+	// analysis before the connection closes (default 256).
+	MinAnalyzeBytes int
+
+	// OnAlert, when non-nil, is invoked synchronously for each alert
+	// (from worker goroutines).
+	OnAlert func(Alert)
+
+	// EvidenceDir, when non-empty, saves the binary frame that
+	// triggered each alert to "<dir>/<n>_<template>.bin" for offline
+	// analysis (the paper's "further action may be taken").
+	EvidenceDir string
+}
+
+// NIDS is one instance of the detection pipeline.
+//
+// ProcessPacket must be called from a single goroutine; alerts are
+// produced asynchronously by the worker pool and retrieved with
+// Alerts after Flush.
+type NIDS struct {
+	cfg        Config
+	classifier *classify.Classifier
+	assembler  *reasm.Assembler
+	analyzer   *sem.Analyzer
+
+	jobs chan job
+	wg   sync.WaitGroup
+
+	mu           sync.Mutex
+	alerts       []Alert
+	seen         map[alertKey]bool
+	lastAnalyzed map[netpkt.FlowKey]int
+
+	flowMeta map[netpkt.FlowKey]flowInfo
+
+	metrics struct {
+		packets, selected, streams, frames, frameBytes, alerts atomic.Uint64
+	}
+	closed bool
+}
+
+type alertKey struct {
+	flow     netpkt.FlowKey
+	template string
+}
+
+type flowInfo struct {
+	reason classify.Reason
+	ts     uint64
+}
+
+type job struct {
+	frame  extract.Frame
+	flow   netpkt.FlowKey
+	reason classify.Reason
+	ts     uint64
+}
+
+// New builds and starts a NIDS instance.
+func New(cfg Config) *NIDS {
+	if cfg.Templates == nil {
+		cfg.Templates = sem.BuiltinTemplates()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MinAnalyzeBytes <= 0 {
+		cfg.MinAnalyzeBytes = 256
+	}
+	if cfg.FullScan {
+		cfg.Classify.Disabled = true
+	}
+	n := &NIDS{
+		cfg:          cfg,
+		classifier:   classify.New(cfg.Classify),
+		assembler:    reasm.New(),
+		analyzer:     sem.NewAnalyzer(cfg.Templates),
+		jobs:         make(chan job, 4*cfg.Workers),
+		seen:         make(map[alertKey]bool),
+		lastAnalyzed: make(map[netpkt.FlowKey]int),
+		flowMeta:     make(map[netpkt.FlowKey]flowInfo),
+	}
+	if cfg.SweepOffsets != nil {
+		n.analyzer.SweepOffsets = cfg.SweepOffsets
+	} else if cfg.FullScan {
+		// The exhaustive baseline disassembles at many more offsets,
+		// as a whole-binary scanner that cannot assume alignment must.
+		n.analyzer.SweepOffsets = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	return n
+}
+
+// Classifier exposes the classification stage (e.g. to pre-register
+// suspicious sources).
+func (n *NIDS) Classifier() *classify.Classifier { return n.classifier }
+
+func (n *NIDS) worker() {
+	defer n.wg.Done()
+	for j := range n.jobs {
+		n.metrics.frames.Add(1)
+		n.metrics.frameBytes.Add(uint64(len(j.frame.Data)))
+		for _, d := range n.analyzer.AnalyzeFrame(j.frame.Data) {
+			n.emit(j, d)
+		}
+	}
+}
+
+func (n *NIDS) emit(j job, d sem.Detection) {
+	key := alertKey{j.flow, d.Template}
+	n.mu.Lock()
+	if n.seen[key] {
+		n.mu.Unlock()
+		return
+	}
+	n.seen[key] = true
+	a := Alert{
+		TimestampUS: j.ts,
+		Src:         j.flow.SrcIP, Dst: j.flow.DstIP,
+		SrcPort: j.flow.SrcPort, DstPort: j.flow.DstPort,
+		Reason:      j.reason,
+		FrameSource: j.frame.Source,
+		Detection:   d,
+	}
+	seq := len(n.alerts)
+	n.alerts = append(n.alerts, a)
+	n.mu.Unlock()
+	n.metrics.alerts.Add(1)
+	// Follow-on traffic from a confirmed attacker is always analyzed.
+	n.classifier.MarkSuspicious(j.flow.SrcIP, j.ts)
+	if n.cfg.EvidenceDir != "" {
+		name := fmt.Sprintf("%04d_%s.bin", seq, d.Template)
+		// Evidence is best-effort; a write failure must not stop
+		// detection.
+		_ = os.WriteFile(filepath.Join(n.cfg.EvidenceDir, name), j.frame.Data, 0o644)
+	}
+	if n.cfg.OnAlert != nil {
+		n.cfg.OnAlert(a)
+	}
+}
+
+// submitPayload runs extraction (or, in FullScan mode, forwards the
+// whole payload) and queues the resulting frames.
+func (n *NIDS) submitPayload(data []byte, flow netpkt.FlowKey, reason classify.Reason, ts uint64) {
+	if len(data) == 0 {
+		return
+	}
+	if n.cfg.FullScan {
+		n.jobs <- job{
+			frame: extract.Frame{Data: data, Source: "fullscan"},
+			flow:  flow, reason: reason, ts: ts,
+		}
+		return
+	}
+	for _, f := range extract.Extract(data) {
+		n.jobs <- job{frame: f, flow: flow, reason: reason, ts: ts}
+	}
+}
+
+// ProcessPacket pushes one packet through the pipeline.
+func (n *NIDS) ProcessPacket(p *netpkt.Packet) {
+	n.metrics.packets.Add(1)
+	ok, reason := n.classifier.Classify(p)
+	if !ok {
+		return
+	}
+	n.metrics.selected.Add(1)
+
+	if !p.HasTCP {
+		if len(p.Payload) > 0 {
+			n.submitPayload(p.Payload, p.Flow(), reason, p.TimestampUS)
+		}
+		return
+	}
+
+	flow := p.Flow()
+	n.flowMeta[flow] = flowInfo{reason: reason, ts: p.TimestampUS}
+	stream := n.assembler.Feed(p)
+	if stream == nil {
+		return
+	}
+	last := n.lastAnalyzed[flow]
+	analyze := false
+	switch {
+	case stream.Finished && len(stream.Data) > last:
+		analyze = true
+	case last == 0 && len(stream.Data) >= n.cfg.MinAnalyzeBytes:
+		analyze = true
+	case last > 0 && len(stream.Data) >= 2*last:
+		// Re-analyze when the stream doubles: exploit content split
+		// across many segments is still caught before close.
+		analyze = true
+	}
+	if analyze {
+		n.lastAnalyzed[flow] = len(stream.Data)
+		n.metrics.streams.Add(1)
+		n.submitPayload(stream.Data, flow, reason, p.TimestampUS)
+	}
+	if stream.Finished {
+		n.assembler.Close(flow)
+		delete(n.lastAnalyzed, flow)
+		delete(n.flowMeta, flow)
+	}
+}
+
+// ProcessPcap feeds an entire pcap stream, then flushes.
+func (n *NIDS) ProcessPcap(r io.Reader) error {
+	pr, err := netpkt.NewPcapReader(r)
+	if err != nil {
+		return err
+	}
+	for {
+		p, err := pr.NextPacket(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n.ProcessPacket(p)
+	}
+	n.Flush()
+	return nil
+}
+
+// Flush analyzes any unfinished streams and waits for the worker pool
+// to drain. The NIDS cannot be used after Flush.
+func (n *NIDS) Flush() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, s := range n.assembler.Drain() {
+		if len(s.Data) > n.lastAnalyzed[s.Key] {
+			info := n.flowMeta[s.Key]
+			n.metrics.streams.Add(1)
+			n.submitPayload(s.Data, s.Key, info.reason, info.ts)
+		}
+	}
+	close(n.jobs)
+	n.wg.Wait()
+}
+
+// Alerts returns all alerts recorded so far (stable order of arrival).
+// Call after Flush for the complete set.
+func (n *NIDS) Alerts() []Alert {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Alert, len(n.alerts))
+	copy(out, n.alerts)
+	return out
+}
+
+// Snapshot returns the current metric counters.
+func (n *NIDS) Snapshot() Metrics {
+	return Metrics{
+		Packets:         n.metrics.packets.Load(),
+		Selected:        n.metrics.selected.Load(),
+		StreamsAnalyzed: n.metrics.streams.Load(),
+		Frames:          n.metrics.frames.Load(),
+		FrameBytes:      n.metrics.frameBytes.Load(),
+		Alerts:          n.metrics.alerts.Load(),
+	}
+}
+
+// AnalyzePayload runs extraction and the semantic stages over one
+// application payload, outside any pipeline instance.
+func AnalyzePayload(payload []byte) []sem.Detection {
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	var out []sem.Detection
+	seen := make(map[string]bool)
+	for _, f := range extract.Extract(payload) {
+		for _, d := range a.AnalyzeFrame(f.Data) {
+			if !seen[d.Template] {
+				seen[d.Template] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeBytes is the host-scan entry point: it runs the semantic
+// stages directly over a binary (no network stages), as done for the
+// Netsky efficiency comparison.
+func AnalyzeBytes(data []byte, tpls []*sem.Template, offsets []int) []sem.Detection {
+	if tpls == nil {
+		tpls = sem.BuiltinTemplates()
+	}
+	a := sem.NewAnalyzer(tpls)
+	if offsets != nil {
+		a.SweepOffsets = offsets
+	}
+	return a.AnalyzeFrame(data)
+}

@@ -1,0 +1,290 @@
+package extract
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLongestRun(t *testing.T) {
+	cases := []struct {
+		in          string
+		start, long int
+	}{
+		{"", 0, 0},
+		{"a", 0, 1},
+		{"aabbbcc", 2, 3},
+		{"xxxxy", 0, 4},
+		{"abc", 0, 1},
+	}
+	for _, c := range cases {
+		s, l := LongestRun([]byte(c.in))
+		if s != c.start || l != c.long {
+			t.Errorf("LongestRun(%q) = (%d,%d), want (%d,%d)", c.in, s, l, c.start, c.long)
+		}
+	}
+}
+
+func TestDecodePercentU(t *testing.T) {
+	got := DecodePercentU([]byte("%u9090%ucbd3%u7801"))
+	want := []byte{0x90, 0x90, 0xd3, 0xcb, 0x01, 0x78}
+	if !bytes.Equal(got, want) {
+		t.Errorf("decode = % x, want % x", got, want)
+	}
+	// Plain %xx escapes.
+	got = DecodePercentU([]byte("%41%42%43"))
+	if string(got) != "ABC" {
+		t.Errorf("percent decode = %q", got)
+	}
+	// Invalid escapes pass through.
+	got = DecodePercentU([]byte("%zz%u12g4x"))
+	if string(got) != "%zz%u12g4x" {
+		t.Errorf("passthrough = %q", got)
+	}
+	// Truncated escape at the end of input.
+	got = DecodePercentU([]byte("ab%u12"))
+	if string(got) != "ab%u12" {
+		t.Errorf("truncated = %q", got)
+	}
+}
+
+func TestBenignHTTPNoFrames(t *testing.T) {
+	reqs := []string{
+		"GET /index.html HTTP/1.1\r\nHost: example.com\r\nUser-Agent: test\r\n\r\n",
+		"POST /cgi-bin/form HTTP/1.0\r\nContent-Length: 11\r\n\r\nname=value1",
+		"GET /a/very/long/but/normal/path/with/segments/image.png?x=1&y=2 HTTP/1.1\r\n\r\n",
+		"HEAD / HTTP/1.0\r\n\r\n",
+	}
+	for _, r := range reqs {
+		if frames := Extract([]byte(r)); len(frames) != 0 {
+			t.Errorf("benign request produced %d frames: %q", len(frames), r[:30])
+		}
+	}
+}
+
+func TestCodeRedStyleExtraction(t *testing.T) {
+	// A Code Red II-like request: filler Xs then %u-encoded binary.
+	req := "GET /default.ida?" + strings.Repeat("X", 224) +
+		"%u9090%u6858%ucbd3%u7801%u9090%u6858%ucbd3%u7801" +
+		"%u9090%u9090%u8190%u00c3=a HTTP/1.0\r\n\r\n"
+	frames := Extract([]byte(req))
+	if len(frames) == 0 {
+		t.Fatal("no frames extracted from Code Red style request")
+	}
+	f := frames[0]
+	if f.Source != "http-unicode" {
+		t.Errorf("source = %q, want http-unicode", f.Source)
+	}
+	if !bytes.Contains(f.Data, []byte{0xd3, 0xcb, 0x01, 0x78}) {
+		t.Errorf("decoded frame lacks the msvcrt address: % x", f.Data[:16])
+	}
+	// The HTTP/1.0 tag must have been stripped before decoding.
+	if bytes.Contains(f.Data, []byte("HTTP/")) {
+		t.Error("protocol tag leaked into the binary frame")
+	}
+}
+
+func TestGenericOverflowURLExtraction(t *testing.T) {
+	code := []byte{0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f, 0x73, 0x68,
+		0x68, 0x2f, 0x62, 0x69, 0x6e, 0x89, 0xe3, 0xcd, 0x80}
+	req := append([]byte("GET /vuln.cgi?arg="+strings.Repeat("A", 64)), code...)
+	req = append(req, []byte(" HTTP/1.0\r\n\r\n")...)
+	frames := Extract(req)
+	if len(frames) == 0 {
+		t.Fatal("no frames from overflow URL")
+	}
+	if !bytes.Contains(frames[0].Data, []byte{0xcd, 0x80}) {
+		t.Errorf("injected code not in frame: % x", frames[0].Data)
+	}
+}
+
+func TestHTTPBodyBinaryExtraction(t *testing.T) {
+	body := make([]byte, 256)
+	for i := range body {
+		body[i] = byte(0x80 + i%0x70)
+	}
+	req := append([]byte("POST /upload HTTP/1.1\r\nContent-Length: 256\r\n\r\n"), body...)
+	frames := Extract(req)
+	found := false
+	for _, f := range frames {
+		if f.Source == "http-body" && bytes.Contains(f.Data, body[:32]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("binary POST body not extracted (frames: %d)", len(frames))
+	}
+}
+
+func TestRawBinaryExtraction(t *testing.T) {
+	payload := make([]byte, 128)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames := Extract(payload)
+	if len(frames) != 1 || frames[0].Source != "raw-binary" {
+		t.Fatalf("raw binary: %+v", frames)
+	}
+}
+
+func TestTextProtocolWithFillerExtraction(t *testing.T) {
+	// FTP-style overflow: textual command, long filler, then code.
+	code := bytes.Repeat([]byte{0x90}, 16)
+	code = append(code, 0x31, 0xc0, 0xcd, 0x80, 0xe8, 0x00, 0x00, 0x00, 0x00,
+		0x5b, 0x89, 0xd8, 0xcd, 0x80, 0xc3, 0x90, 0x90, 0x90, 0x90, 0x90,
+		0x90, 0x90, 0x90, 0x90, 0x90)
+	payload := append([]byte("USER "+strings.Repeat("A", 120)), code...)
+	frames := Extract(payload)
+	if len(frames) == 0 {
+		t.Fatal("no frames from text protocol overflow")
+	}
+}
+
+func TestTextProtocolRecognition(t *testing.T) {
+	// FTP/IMAP/POP3 command streams are recognized; their frames are
+	// labeled text-proto rather than generic raw-binary.
+	code := bytes.Repeat([]byte{0x90}, 32)
+	code = append(code, 0x31, 0xc0, 0xcd, 0x80)
+	cases := [][]byte{
+		append([]byte("USER "+strings.Repeat("A", 60)), code...),
+		append([]byte("a001 LOGIN "+strings.Repeat("B", 60)+" "), code...),
+		append([]byte("PASS "+strings.Repeat("C", 60)), code...),
+		append([]byte("APOP user "+strings.Repeat("D", 60)), code...),
+	}
+	for i, payload := range cases {
+		frames := Extract(payload)
+		if len(frames) != 1 || frames[i%1].Source != "text-proto" {
+			t.Errorf("case %d: frames=%v", i, frames)
+			continue
+		}
+		if !bytes.Contains(frames[0].Data, []byte{0xcd, 0x80}) {
+			t.Errorf("case %d: code not in frame", i)
+		}
+	}
+}
+
+func TestTextProtocolBenignCommands(t *testing.T) {
+	benign := []string{
+		"USER anonymous\r\n",
+		"PASS guest@example.org\r\n",
+		"RETR pub/file.txt\r\n",
+		"a001 LOGIN alice secretpassword\r\n",
+		"a002 SELECT INBOX\r\n",
+		"APOP alice c4c9334bac560ecc979e58001b3e22fb\r\n",
+		"SITE CHMOD 644 file\r\n",
+	}
+	for _, s := range benign {
+		if frames := Extract([]byte(s)); len(frames) != 0 {
+			t.Errorf("benign command extracted: %q -> %v", s, frames)
+		}
+	}
+}
+
+func TestHTTPResponseBodySkipped(t *testing.T) {
+	// Declared binary response bodies are protocol-conformant: no
+	// frames even for high-entropy content.
+	body := make([]byte, 2048)
+	for i := range body {
+		body[i] = byte(i*7 + i>>3)
+	}
+	resp := append([]byte("HTTP/1.1 200 OK\r\nContent-Type: image/jpeg\r\nContent-Length: 2048\r\n\r\n"), body...)
+	if frames := Extract(resp); len(frames) != 0 {
+		t.Errorf("response body extracted: %v", frames)
+	}
+}
+
+func TestHTTPResponseHeaderAnomaly(t *testing.T) {
+	// An overflow in a header value (server-side exploit response) is
+	// still extracted.
+	code := bytes.Repeat([]byte{0x90}, 48)
+	resp := append([]byte("HTTP/1.1 200 OK\r\nServer: "+strings.Repeat("Z", 64)), code...)
+	resp = append(resp, []byte("\r\n\r\nbody")...)
+	frames := Extract(resp)
+	if len(frames) != 1 || frames[0].Source != "http-resp-header" {
+		t.Fatalf("header anomaly: %v", frames)
+	}
+}
+
+func TestBenignTextNoFrames(t *testing.T) {
+	texts := []string{
+		"USER anonymous\r\nPASS guest@example.com\r\nLIST\r\n",
+		"EHLO mail.example.com\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<d@e.f>\r\n",
+		strings.Repeat("Normal sentence with words. ", 40),
+	}
+	for _, s := range texts {
+		if frames := Extract([]byte(s)); len(frames) != 0 {
+			t.Errorf("benign text produced frames: %q...", s[:20])
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if Extract(nil) != nil {
+		t.Error("nil payload produced frames")
+	}
+	if Extract([]byte("hi")) != nil {
+		t.Error("tiny payload produced frames")
+	}
+}
+
+func TestFrameCap(t *testing.T) {
+	huge := make([]byte, MaxFrameBytes*2)
+	for i := range huge {
+		huge[i] = 0x90
+	}
+	frames := Extract(huge)
+	for _, f := range frames {
+		if len(f.Data) > MaxFrameBytes {
+			t.Errorf("frame exceeds cap: %d", len(f.Data))
+		}
+	}
+}
+
+// Property: DecodePercentU never panics and never grows the input.
+func TestDecodeNeverGrows(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	prop := func() bool {
+		n := r.Intn(300)
+		b := make([]byte, n)
+		for i := range b {
+			// Bias toward '%' and hex digits to hit escape paths.
+			switch r.Intn(4) {
+			case 0:
+				b[i] = '%'
+			case 1:
+				b[i] = "0123456789abcdefu"[r.Intn(17)]
+			default:
+				b[i] = byte(r.Intn(256))
+			}
+		}
+		return len(DecodePercentU(b)) <= len(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Extract never panics on arbitrary payloads and respects
+// the frame cap.
+func TestExtractRobustness(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	prop := func() bool {
+		n := r.Intn(2048)
+		b := make([]byte, n)
+		r.Read(b)
+		if r.Intn(3) == 0 {
+			copy(b, "GET /")
+		}
+		for _, f := range Extract(b) {
+			if len(f.Data) > MaxFrameBytes || f.Offset < 0 || f.Offset > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

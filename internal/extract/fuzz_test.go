@@ -1,0 +1,36 @@
+package extract
+
+import "testing"
+
+func FuzzExtract(f *testing.F) {
+	f.Add([]byte("GET /default.ida?XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX%u9090%ucbd3%u7801 HTTP/1.0\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Type: image/jpeg\r\n\r\n\xff\xd8\xff\xe0"))
+	f.Add([]byte("MAIL FROM:<a@b>\r\nDATA\r\nContent-Transfer-Encoding: base64\r\n\r\nTVqQAAAA\r\n.\r\n"))
+	f.Add([]byte("USER AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\x90\x90\x31\xc0\xcd\x80"))
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, fr := range Extract(b) {
+			if len(fr.Data) > MaxFrameBytes {
+				t.Fatalf("frame exceeds cap: %d", len(fr.Data))
+			}
+			if fr.Offset < 0 || fr.Offset > len(b) {
+				t.Fatalf("offset %d out of range %d", fr.Offset, len(b))
+			}
+			if fr.Source == "" {
+				t.Fatal("frame without source label")
+			}
+		}
+	})
+}
+
+func FuzzDecodePercentU(f *testing.F) {
+	f.Add([]byte("%u9090%ucbd3"))
+	f.Add([]byte("%41%42"))
+	f.Add([]byte("%%%%uu"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out := DecodePercentU(b)
+		if len(out) > len(b) {
+			t.Fatalf("decode grew input: %d > %d", len(out), len(b))
+		}
+	})
+}

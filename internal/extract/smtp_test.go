@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"bytes"
+	"encoding/base64"
+	"strings"
+	"testing"
+)
+
+func mimeMail(attachment []byte) []byte {
+	enc := base64.StdEncoding.EncodeToString(attachment)
+	var b strings.Builder
+	b.WriteString("MAIL FROM:<a@b.c>\r\nRCPT TO:<d@e.f>\r\nDATA\r\n" +
+		"Subject: hello\r\nMIME-Version: 1.0\r\n" +
+		"Content-Type: multipart/mixed; boundary=\"xx\"\r\n\r\n" +
+		"--xx\r\nContent-Type: text/plain\r\n\r\nsee attachment\r\n" +
+		"--xx\r\nContent-Type: application/octet-stream\r\n" +
+		"Content-Transfer-Encoding: base64\r\n\r\n")
+	for off := 0; off < len(enc); off += 76 {
+		end := off + 76
+		if end > len(enc) {
+			end = len(enc)
+		}
+		b.WriteString(enc[off:end])
+		b.WriteString("\r\n")
+	}
+	b.WriteString("--xx--\r\n.\r\nQUIT\r\n")
+	return []byte(b.String())
+}
+
+func TestSMTPAttachmentExtracted(t *testing.T) {
+	// An MZ-headed binary blob must be decoded and forwarded.
+	payload := append([]byte("MZ\x90\x00"), bytes.Repeat([]byte{0xcc, 0x31, 0xc0, 0x40}, 64)...)
+	frames := Extract(mimeMail(payload))
+	if len(frames) != 1 {
+		t.Fatalf("%d frames, want 1", len(frames))
+	}
+	f := frames[0]
+	if f.Source != "smtp-attachment" {
+		t.Errorf("source = %q", f.Source)
+	}
+	if !bytes.Equal(f.Data, payload) {
+		t.Errorf("decoded attachment mismatch: got %d bytes, want %d", len(f.Data), len(payload))
+	}
+}
+
+func TestSMTPTextAttachmentIgnored(t *testing.T) {
+	// A base64 attachment that decodes to plain text is not code.
+	text := bytes.Repeat([]byte("just a plain text document, nothing else. "), 20)
+	frames := Extract(mimeMail(text))
+	if len(frames) != 0 {
+		t.Errorf("text attachment extracted: %d frames", len(frames))
+	}
+}
+
+func TestSMTPNoAttachment(t *testing.T) {
+	mail := []byte("EHLO x\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<d@e.f>\r\nDATA\r\n" +
+		"Subject: plain\r\n\r\nhello world\r\n.\r\nQUIT\r\n")
+	if frames := Extract(mail); len(frames) != 0 {
+		t.Errorf("plain mail extracted: %d frames", len(frames))
+	}
+}
+
+func TestSMTPMultipleAttachments(t *testing.T) {
+	bin := append([]byte{0x7f}, []byte("ELF")...)
+	bin = append(bin, bytes.Repeat([]byte{0x90, 0x31, 0xdb}, 32)...)
+	one := mimeMail(bin)
+	// Concatenate two messages in one stream.
+	both := append(append([]byte{}, one...), one...)
+	frames := Extract(both)
+	if len(frames) != 2 {
+		t.Fatalf("%d frames, want 2", len(frames))
+	}
+	if frames[0].Offset == frames[1].Offset {
+		t.Error("frames share an offset")
+	}
+}
+
+func TestSMTPCorruptBase64(t *testing.T) {
+	mail := []byte("MAIL FROM:<a@b.c>\r\nDATA\r\n" +
+		"Content-Transfer-Encoding: base64\r\n\r\n" +
+		"!!!not base64 at all!!!\r\n.\r\n")
+	if frames := Extract(mail); len(frames) != 0 {
+		t.Errorf("corrupt base64 extracted: %d frames", len(frames))
+	}
+}
+
+func TestSMTPTruncatedHeader(t *testing.T) {
+	mail := []byte("MAIL FROM:<a@b.c>\r\nDATA\r\nContent-Transfer-Encoding: base64")
+	if frames := Extract(mail); len(frames) != 0 {
+		t.Errorf("truncated mail extracted: %d frames", len(frames))
+	}
+}
+
+func TestBase64Run(t *testing.T) {
+	clean, raw := base64Run([]byte("QUJD\r\nREVG\r\n--boundary"))
+	if string(clean) != "QUJDREVG" {
+		t.Errorf("clean = %q", clean)
+	}
+	if raw != 12 {
+		t.Errorf("rawLen = %d, want 12", raw)
+	}
+	// Non-multiple-of-4 trailing content is trimmed.
+	clean, _ = base64Run([]byte("QUJDA"))
+	if len(clean)%4 != 0 {
+		t.Errorf("untrimmed run: %q", clean)
+	}
+}
+
+func TestLooksExecutable(t *testing.T) {
+	if !looksExecutable(append([]byte("MZ"), make([]byte, 64)...)) {
+		t.Error("MZ header not recognized")
+	}
+	if !looksExecutable(append([]byte("\x7fELF"), make([]byte, 64)...)) {
+		t.Error("ELF header not recognized")
+	}
+	if looksExecutable([]byte("short")) {
+		t.Error("short buffer accepted")
+	}
+	if looksExecutable(bytes.Repeat([]byte("plain ascii text here "), 10)) {
+		t.Error("text accepted as executable")
+	}
+}

@@ -1,0 +1,61 @@
+package netpkt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func FuzzParse(f *testing.F) {
+	p := &Packet{
+		SrcIP: mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
+		Proto: ProtoTCP, HasTCP: true, SrcPort: 1, DstPort: 2,
+		Payload: []byte("x"),
+	}
+	f.Add(p.Serialize())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pkt, err := Parse(b)
+		if err != nil {
+			return
+		}
+		// A parsed packet must re-serialize and re-parse to the same
+		// addressing (payload may be normalized by length fields).
+		again, err := Parse(pkt.Serialize())
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if again.SrcIP != pkt.SrcIP || again.DstIP != pkt.DstIP ||
+			again.SrcPort != pkt.SrcPort || again.DstPort != pkt.DstPort {
+			t.Fatal("re-parse changed addressing")
+		}
+		if !bytes.Equal(again.Payload, pkt.Payload) {
+			t.Fatal("re-parse changed payload")
+		}
+	})
+}
+
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	p := &Packet{
+		SrcIP: mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
+		Proto: ProtoUDP, HasUDP: true, Payload: []byte("abc"),
+	}
+	_ = w.WritePacket(p)
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewPcapReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 64; i++ {
+			if _, _, err := r.NextFrame(); err != nil {
+				return
+			}
+		}
+	})
+}

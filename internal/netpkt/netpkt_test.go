@@ -1,0 +1,272 @@
+package netpkt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func tcpPacket(src, dst string, sport, dport uint16, payload []byte) *Packet {
+	return &Packet{
+		SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst),
+		Proto: ProtoTCP, HasTCP: true,
+		SrcPort: sport, DstPort: dport,
+		Seq: 1000, Ack: 2000, Flags: FlagACK | FlagPSH,
+		Payload: payload,
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	p := tcpPacket("10.0.0.1", "192.168.1.5", 31337, 80, []byte("GET / HTTP/1.0\r\n\r\n"))
+	p.TTL = 57
+	p.IPID = 0x1234
+	frame := p.Serialize()
+	got, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != p.SrcIP || got.DstIP != p.DstIP {
+		t.Errorf("IPs: %v->%v", got.SrcIP, got.DstIP)
+	}
+	if got.SrcPort != 31337 || got.DstPort != 80 {
+		t.Errorf("ports: %d->%d", got.SrcPort, got.DstPort)
+	}
+	if got.Seq != 1000 || got.Ack != 2000 {
+		t.Errorf("seq/ack: %d/%d", got.Seq, got.Ack)
+	}
+	if got.Flags != FlagACK|FlagPSH {
+		t.Errorf("flags: %#x", got.Flags)
+	}
+	if got.TTL != 57 || got.IPID != 0x1234 {
+		t.Errorf("ttl/ipid: %d/%#x", got.TTL, got.IPID)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload: %q", got.Payload)
+	}
+	if err := VerifyChecksums(frame); err != nil {
+		t.Errorf("checksums: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := &Packet{
+		SrcIP: netip.MustParseAddr("10.0.0.2"), DstIP: netip.MustParseAddr("10.0.0.3"),
+		Proto: ProtoUDP, HasUDP: true, SrcPort: 5353, DstPort: 53,
+		Payload: []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	got, err := Parse(p.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasUDP || got.DstPort != 53 || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("udp round trip: %+v", got)
+	}
+	if err := VerifyChecksums(p.Serialize()); err != nil {
+		t.Errorf("checksums: %v", err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := tcpPacket("10.0.0.1", "10.0.0.2", 1, 2, []byte("hello"))
+	frame := p.Serialize()
+	frame[len(frame)-1] ^= 0xff // flip a payload byte
+	if err := VerifyChecksums(frame); err == nil {
+		t.Error("corrupted payload passed checksum verification")
+	}
+	frame = p.Serialize()
+	frame[14+8] ^= 0x01 // flip TTL in the IP header
+	if err := VerifyChecksums(frame); err == nil {
+		t.Error("corrupted IP header passed checksum verification")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Error("nil frame must fail")
+	}
+	if _, err := Parse(make([]byte, 10)); err == nil {
+		t.Error("short frame must fail")
+	}
+	// Non-IPv4 ethertype.
+	f := make([]byte, 60)
+	f[12], f[13] = 0x08, 0x06 // ARP
+	if _, err := Parse(f); err != ErrBadVersion {
+		t.Errorf("ARP frame: %v", err)
+	}
+	// IPv6 version nibble.
+	p := tcpPacket("1.2.3.4", "5.6.7.8", 1, 2, nil)
+	frame := p.Serialize()
+	frame[14] = 0x65
+	if _, err := Parse(frame); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated TCP header.
+	frame = p.Serialize()
+	frame2 := frame[:14+20+10]
+	// Fix total length to claim more than present.
+	if _, err := Parse(frame2); err == nil {
+		t.Error("truncated TCP header must fail")
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	p := tcpPacket("10.0.0.1", "10.0.0.2", 1234, 80, nil)
+	k := p.Flow()
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.SrcPort != k.DstPort || r.Reverse() != k {
+		t.Errorf("reverse: %v vs %v", k, r)
+	}
+	if k.String() == "" {
+		t.Error("empty flow string")
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*Packet
+	for i := 0; i < 10; i++ {
+		p := tcpPacket("10.0.0.1", "10.0.0.2", uint16(1000+i), 80,
+			[]byte{byte(i), byte(i + 1)})
+		p.TimestampUS = uint64(i) * 1500
+		want = append(want, p)
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Errorf("count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range got {
+		if got[i].SrcPort != want[i].SrcPort ||
+			got[i].TimestampUS != want[i].TimestampUS ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("packet %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestPcapBadMagic(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Error("zero magic accepted")
+	}
+	if _, err := NewPcapReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestPcapTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	p := tcpPacket("10.0.0.1", "10.0.0.2", 1, 2, []byte("x"))
+	if err := w.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, err := NewPcapReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextFrame(); err == nil {
+		t.Error("truncated frame read succeeded")
+	}
+}
+
+func TestPcapSkipsUnparseable(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	if err := w.WriteFrame([]byte{1, 2, 3}, 0); err != nil { // junk frame
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(tcpPacket("1.1.1.1", "2.2.2.2", 3, 4, []byte("ok"))); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	p, err := r.NextPacket(&skipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || string(p.Payload) != "ok" {
+		t.Errorf("skipped=%d payload=%q", skipped, p.Payload)
+	}
+	if _, err := r.NextPacket(&skipped); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+// Property: serialize/parse is the identity on the modeled fields, and
+// checksums always verify, for arbitrary payloads and addresses.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	prop := func() bool {
+		var a4, b4 [4]byte
+		r.Read(a4[:])
+		r.Read(b4[:])
+		payload := make([]byte, r.Intn(512))
+		r.Read(payload)
+		p := &Packet{
+			SrcIP: netip.AddrFrom4(a4), DstIP: netip.AddrFrom4(b4),
+			SrcPort: uint16(r.Uint32()), DstPort: uint16(r.Uint32()),
+			Seq: r.Uint32(), Ack: r.Uint32(),
+			Flags: uint8(r.Uint32()) & 0x3f, TTL: uint8(r.Intn(255) + 1),
+			Payload: payload,
+		}
+		if r.Intn(2) == 0 {
+			p.Proto, p.HasTCP = ProtoTCP, true
+		} else {
+			p.Proto, p.HasUDP = ProtoUDP, true
+		}
+		frame := p.Serialize()
+		if VerifyChecksums(frame) != nil {
+			return false
+		}
+		got, err := Parse(frame)
+		if err != nil {
+			return false
+		}
+		return got.SrcIP == p.SrcIP && got.DstIP == p.DstIP &&
+			got.SrcPort == p.SrcPort && got.DstPort == p.DstPort &&
+			bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on random bytes.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		// Make many of them look like IPv4 to exercise deep paths.
+		if len(b) > 14 && r.Intn(2) == 0 {
+			b[12], b[13] = 0x08, 0x00
+			if len(b) > 20 {
+				b[14] = 0x45
+			}
+		}
+		_, _ = Parse(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

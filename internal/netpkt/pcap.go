@@ -1,0 +1,167 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Classic libpcap file format (the format the paper's traces were
+// stored in): a 24-byte global header followed by per-packet records.
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapMagicSwapped = 0xd4c3b2a1
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	linkTypeEthernet = 1
+	maxSnapLen       = 262144
+)
+
+// ErrBadPcap is returned for malformed trace files.
+var ErrBadPcap = errors.New("netpkt: malformed pcap")
+
+// PcapWriter streams packets into classic pcap format.
+type PcapWriter struct {
+	w     io.Writer
+	count int
+}
+
+// NewPcapWriter writes the global header and returns a writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone=0, sigfigs=0
+	binary.LittleEndian.PutUint32(hdr[16:20], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WriteFrame appends one raw Ethernet frame with the given timestamp
+// (microseconds since the epoch).
+func (pw *PcapWriter) WriteFrame(frame []byte, tsUS uint64) error {
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(tsUS/1e6))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(tsUS%1e6))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame)
+	if err == nil {
+		pw.count++
+	}
+	return err
+}
+
+// WritePacket serializes and appends a parsed packet.
+func (pw *PcapWriter) WritePacket(p *Packet) error {
+	return pw.WriteFrame(p.Serialize(), p.TimestampUS)
+}
+
+// Count returns the number of packets written.
+func (pw *PcapWriter) Count() int { return pw.count }
+
+// PcapReader streams packets out of a classic pcap file.
+type PcapReader struct {
+	r       io.Reader
+	swapped bool
+	link    uint32
+}
+
+// NewPcapReader validates the global header.
+func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPcap, err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	pr := &PcapReader{r: r}
+	switch magic {
+	case pcapMagic:
+	case pcapMagicSwapped:
+		pr.swapped = true
+	default:
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadPcap, magic)
+	}
+	pr.link = pr.u32(hdr[20:24])
+	if pr.link != linkTypeEthernet {
+		return nil, fmt.Errorf("%w: unsupported link type %d", ErrBadPcap, pr.link)
+	}
+	return pr, nil
+}
+
+func (pr *PcapReader) u32(b []byte) uint32 {
+	if pr.swapped {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// NextFrame returns the next raw frame and its timestamp, or io.EOF.
+func (pr *PcapReader) NextFrame() ([]byte, uint64, error) {
+	rec := make([]byte, 16)
+	if _, err := io.ReadFull(pr.r, rec); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, fmt.Errorf("%w: truncated record header", ErrBadPcap)
+		}
+		return nil, 0, err
+	}
+	sec := pr.u32(rec[0:4])
+	usec := pr.u32(rec[4:8])
+	capLen := pr.u32(rec[8:12])
+	if capLen > maxSnapLen {
+		return nil, 0, fmt.Errorf("%w: capture length %d too large", ErrBadPcap, capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return nil, 0, fmt.Errorf("%w: truncated frame", ErrBadPcap)
+	}
+	return frame, uint64(sec)*1e6 + uint64(usec), nil
+}
+
+// NextPacket parses the next frame; unparseable frames are skipped
+// (counted in *skipped if non-nil) so a damaged trace does not stop
+// analysis.
+func (pr *PcapReader) NextPacket(skipped *int) (*Packet, error) {
+	for {
+		frame, ts, err := pr.NextFrame()
+		if err != nil {
+			return nil, err
+		}
+		p, perr := Parse(frame)
+		if perr != nil {
+			if skipped != nil {
+				*skipped++
+			}
+			continue
+		}
+		p.TimestampUS = ts
+		return p, nil
+	}
+}
+
+// ReadAll drains a reader into a packet slice.
+func ReadAll(r io.Reader) ([]*Packet, error) {
+	pr, err := NewPcapReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Packet
+	for {
+		p, err := pr.NextPacket(nil)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

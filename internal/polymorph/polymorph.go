@@ -1,0 +1,163 @@
+// Package polymorph implements polymorphic shellcode generation
+// engines equivalent in behavior to the two toolkits evaluated in the
+// paper: ADMmutate (K2) and the Clet engine. Both wrap a cleartext
+// payload in (a) a variant NOP-like sled, (b) an obfuscated decoder
+// built with equivalent-instruction substitution, junk insertion,
+// register reassignment and — for ADMmutate — out-of-order code
+// sequencing, and (c) the encoded payload.
+//
+// ADMmutate additionally selects between two decoding schemes: the
+// classic XOR loop and an alternate scheme composed of mov/or/and/not
+// operations on a memory location and register pair (an XNOR cipher).
+// The paper discovered the second scheme by inspecting missed samples,
+// which is what produced the 68% → 100% step in Table 2.
+package polymorph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semnids/internal/x86"
+)
+
+// Scheme identifies the decoding cipher used by a generated sample.
+type Scheme int
+
+const (
+	// SchemeXor decodes with `xor [ptr], key`.
+	SchemeXor Scheme = iota
+	// SchemeXnor decodes with the mov/or/and/not XNOR construction.
+	SchemeXnor
+)
+
+func (s Scheme) String() string {
+	if s == SchemeXnor {
+		return "xnor(mov/or/and/not)"
+	}
+	return "xor"
+}
+
+// Meta describes a generated sample so tests can verify that decoding
+// the payload region reproduces the original payload.
+type Meta struct {
+	Scheme     Scheme
+	Key        byte
+	Delta      byte // for add/sub substitution of the xor scheme
+	Transform  string
+	SledLen    int
+	PayloadOff int
+	PayloadLen int
+}
+
+// scratch register families available to junk and key registers: every
+// family except ESP (stack discipline) is a candidate; the generator
+// removes families reserved for the pointer and counter.
+var famPool = []x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX, x86.ESI, x86.EDI, x86.EBP}
+
+// low8 returns the low 8-bit register of a family (EBP/ESI/EDI have no
+// 8-bit form in our model; callers must not request them).
+func low8(fam x86.Reg) x86.Reg {
+	switch fam {
+	case x86.EAX:
+		return x86.AL
+	case x86.EBX:
+		return x86.BL
+	case x86.ECX:
+		return x86.CL
+	case x86.EDX:
+		return x86.DL
+	}
+	panic(fmt.Sprintf("no low-8 register for %v", fam))
+}
+
+func mem8(base x86.Reg) x86.Operand {
+	return x86.MemOp(x86.MemRef{Base: base, Size: 1, Scale: 1})
+}
+
+// sledPool is the set of single-byte NOP-like opcodes ADMmutate-class
+// engines draw from: each executes harmlessly regardless of sled entry
+// point.
+var sledPool = []byte{
+	0x90,                   // nop
+	0x40, 0x41, 0x42, 0x43, // inc eax..ebx
+	0x45, 0x46, 0x47, // inc ebp, esi, edi
+	0x48, 0x49, 0x4a, 0x4b, // dec eax..ebx
+	0x4d, 0x4e, 0x4f, // dec ebp, esi, edi
+	0xf8, 0xf9, 0xf5, // clc, stc, cmc
+	0xfc,       // cld
+	0x98, 0x99, // cwde, cdq
+	0x27, 0x2f, 0x37, 0x3f, // daa, das, aaa, aas
+	0xd6, // salc
+	0x9e, // sahf
+}
+
+// genSled emits n NOP-like bytes.
+func genSled(rng *rand.Rand, a *x86.Asm, n int) {
+	for i := 0; i < n; i++ {
+		a.Raw(sledPool[rng.Intn(len(sledPool))])
+	}
+}
+
+// junkCtx tracks which register families junk instructions may touch.
+type junkCtx struct {
+	rng     *rand.Rand
+	scratch []x86.Reg // families junk may freely clobber
+}
+
+// emitJunk inserts up to max junk instructions that do not disturb the
+// decoder's live registers.
+func (j *junkCtx) emitJunk(a *x86.Asm, max int) {
+	if len(j.scratch) == 0 || max <= 0 {
+		return
+	}
+	n := j.rng.Intn(max + 1)
+	for i := 0; i < n; i++ {
+		r := j.scratch[j.rng.Intn(len(j.scratch))]
+		switch j.rng.Intn(8) {
+		case 0:
+			a.Nop()
+		case 1:
+			a.MovRI(r, int64(int32(j.rng.Uint32())))
+		case 2:
+			a.IncR(r)
+		case 3:
+			a.DecR(r)
+		case 4:
+			a.I(x86.TEST, x86.RegOp(r), x86.RegOp(r))
+		case 5:
+			a.I(x86.CMP, x86.RegOp(r), x86.ImmOp(int64(j.rng.Intn(256))))
+		case 6:
+			a.PushR(r).PopR(r)
+		case 7:
+			switch j.rng.Intn(4) {
+			case 0:
+				a.I(x86.CLD)
+			case 1:
+				a.I(x86.CLC)
+			case 2:
+				a.I(x86.STC)
+			case 3:
+				a.I(x86.CMC)
+			}
+		}
+	}
+}
+
+// pick removes and returns a random element of *s.
+func pick(rng *rand.Rand, s *[]x86.Reg) x86.Reg {
+	i := rng.Intn(len(*s))
+	r := (*s)[i]
+	*s = append((*s)[:i], (*s)[i+1:]...)
+	return r
+}
+
+// remove deletes r from s, returning the shortened slice.
+func remove(s []x86.Reg, r x86.Reg) []x86.Reg {
+	out := s[:0]
+	for _, x := range s {
+		if x != r {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package polymorph
+
+import (
+	"bytes"
+	"testing"
+
+	"semnids/internal/sem"
+	"semnids/internal/shellcode"
+	"semnids/internal/x86"
+)
+
+func detect(tpls []*sem.Template, frame []byte) map[string]bool {
+	a := sem.NewAnalyzer(tpls)
+	out := make(map[string]bool)
+	for _, d := range a.AnalyzeFrame(frame) {
+		out[d.Template] = true
+	}
+	return out
+}
+
+func decryptorDetected(ds map[string]bool) bool {
+	return ds["xor-decrypt-loop"] || ds["admmutate-alt-decode-loop"]
+}
+
+func TestADMmutateDecodable(t *testing.T) {
+	// Every generated sample must decode back to the original payload
+	// (the engine produces working code, not just noise).
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewADMmutate(7)
+	for i := 0; i < 200; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		dec, err := DecodePayload(sample, meta)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, payload) {
+			t.Fatalf("sample %d (%s/%s): decode mismatch", i, meta.Scheme, meta.Transform)
+		}
+	}
+}
+
+func TestADMmutateFullTemplateSetDetectsAll(t *testing.T) {
+	// Table 2 row "ADMmutate", final result: 100/100 with both
+	// decoder templates.
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewADMmutate(20060612)
+	tpls := sem.BuiltinTemplates()
+	for i := 0; i < 100; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !decryptorDetected(detect(tpls, sample)) {
+			t.Errorf("sample %d (%s/%s, ooo sled=%d) missed",
+				i, meta.Scheme, meta.Transform, meta.SledLen)
+		}
+	}
+}
+
+func TestADMmutateXorOnlyTemplateSetPartialDetection(t *testing.T) {
+	// Table 2 narrative: with only the xor template, approximately
+	// 68% of ADMmutate samples are detected (the alternate
+	// mov/or/and/not scheme evades it).
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewADMmutate(20060612)
+	tpls := sem.XorOnlyTemplates()
+	detected, alt := 0, 0
+	for i := 0; i < 100; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := detect(tpls, sample)
+		if meta.Scheme == SchemeXnor {
+			alt++
+			if ds["xor-decrypt-loop"] {
+				t.Errorf("sample %d: xnor scheme matched the xor template", i)
+			}
+		}
+		if decryptorDetected(ds) {
+			detected++
+		}
+	}
+	if detected+alt != 100 {
+		t.Errorf("detected %d + alt %d != 100: xor-scheme sample missed", detected, alt)
+	}
+	if detected < 55 || detected > 80 {
+		t.Errorf("xor-only detection rate %d%%, expected near the paper's 68%%", detected)
+	}
+}
+
+func TestADMmutateForcedSchemes(t *testing.T) {
+	payload := shellcode.PushPop().Bytes
+	for _, scheme := range []Scheme{SchemeXor, SchemeXnor} {
+		eng := NewADMmutate(11)
+		eng.ForceScheme = &scheme
+		for i := 0; i < 25; i++ {
+			sample, meta, err := eng.Encode(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meta.Scheme != scheme {
+				t.Fatalf("forced scheme ignored")
+			}
+			ds := detect(sem.BuiltinTemplates(), sample)
+			want := "xor-decrypt-loop"
+			if scheme == SchemeXnor {
+				want = "admmutate-alt-decode-loop"
+			}
+			if !ds[want] {
+				t.Errorf("%v sample %d: %s not detected", scheme, i, want)
+			}
+		}
+	}
+}
+
+func TestCletAllDetected(t *testing.T) {
+	// Table 2 row "Clet": 100/100 with the xor template alone.
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewClet(1999)
+	tpls := sem.XorOnlyTemplates()
+	for i := 0; i < 100; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !detect(tpls, sample)["xor-decrypt-loop"] {
+			t.Errorf("clet sample %d (%s sled=%d) missed", i, meta.Transform, meta.SledLen)
+		}
+	}
+}
+
+func TestCletDecodable(t *testing.T) {
+	payload := shellcode.JmpCallPop().Bytes
+	eng := NewClet(5)
+	for i := 0; i < 100; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodePayload(sample, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, payload) {
+			t.Fatalf("clet sample %d: decode mismatch", i)
+		}
+	}
+}
+
+func TestCletSpectrumPadding(t *testing.T) {
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewClet(3)
+	eng.PadLen = 128
+	sample, meta, err := eng.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := sample[meta.PayloadOff+meta.PayloadLen:]
+	if len(pad) != 128 {
+		t.Fatalf("pad length %d, want 128", len(pad))
+	}
+	printable := 0
+	for _, b := range pad {
+		if b >= 0x20 && b < 0x7f {
+			printable++
+		}
+	}
+	if printable != len(pad) {
+		t.Errorf("spectrum padding contains %d non-printable bytes", len(pad)-printable)
+	}
+}
+
+func TestSamplesAreDistinct(t *testing.T) {
+	// Polymorphism: consecutive samples of the same payload differ.
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewADMmutate(99)
+	a, _, err := eng.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := eng.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two ADMmutate samples are byte-identical")
+	}
+}
+
+func TestSledIsNopLike(t *testing.T) {
+	// Every sled byte must decode as a single harmless instruction.
+	payload := []byte{0x90}
+	eng := NewADMmutate(13)
+	for i := 0; i < 20; i++ {
+		sample, meta, err := eng.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sled := sample[:meta.SledLen]
+		for off := 0; off < len(sled); off++ {
+			in, err := x86.Decode(sled, off)
+			if err != nil {
+				t.Fatalf("sled byte %#x at %d does not decode: %v", sled[off], off, err)
+			}
+			if in.Len != 1 {
+				t.Fatalf("sled instruction at %d is %d bytes, want 1", off, in.Len)
+			}
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng := NewADMmutate(1)
+	if _, _, err := eng.Encode(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+	if _, _, err := eng.Encode(make([]byte, 1<<17)); err == nil {
+		t.Error("oversized payload should fail")
+	}
+	clet := NewClet(1)
+	if _, _, err := clet.Encode(nil); err == nil {
+		t.Error("clet empty payload should fail")
+	}
+}
+
+func TestEmbeddedShellcodeStillDetected(t *testing.T) {
+	// After decoding is modeled, the *encoded* sample must not reveal
+	// the plaintext shell-spawn behavior, but the decryptor template
+	// must fire: the layered defense the paper describes.
+	payload := shellcode.ClassicPush().Bytes
+	eng := NewADMmutate(21)
+	sample, _, err := eng.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := detect(sem.BuiltinTemplates(), sample)
+	if !decryptorDetected(ds) {
+		t.Error("decryptor not detected on encoded sample")
+	}
+}

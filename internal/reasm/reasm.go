@@ -1,0 +1,217 @@
+// Package reasm implements per-flow TCP stream reassembly: it merges
+// in-order and out-of-order segments into contiguous stream payloads
+// so that exploit content split across packets is analyzed whole.
+package reasm
+
+import (
+	"sort"
+
+	"semnids/internal/netpkt"
+)
+
+// Limits protecting the reassembler from state-exhaustion.
+const (
+	// MaxStreamBytes caps how much payload is buffered per flow; a
+	// remote exploit's interesting content arrives in the first few
+	// kilobytes.
+	MaxStreamBytes = 1 << 20
+	// MaxFlows caps tracked flows; oldest-idle flows are evicted.
+	MaxFlows = 1 << 14
+	// MaxGapSegments caps buffered out-of-order segments per flow.
+	MaxGapSegments = 256
+)
+
+type segment struct {
+	seq  uint32
+	data []byte
+}
+
+// stream is one direction of a TCP connection.
+type stream struct {
+	key      netpkt.FlowKey
+	baseSeq  uint32 // sequence number of the first byte of Data
+	haveBase bool
+	data     []byte
+	pending  []segment // out-of-order segments, sorted by seq
+	lastSeen uint64    // timestamp of last activity
+	finished bool
+}
+
+// Stream is the reassembled view handed to the next pipeline stage.
+type Stream struct {
+	Key      netpkt.FlowKey
+	Data     []byte
+	Finished bool
+}
+
+// Assembler reassembles many flows concurrently-fed from one goroutine.
+type Assembler struct {
+	flows map[netpkt.FlowKey]*stream
+}
+
+// New returns an empty assembler.
+func New() *Assembler {
+	return &Assembler{flows: make(map[netpkt.FlowKey]*stream)}
+}
+
+// seqLess compares TCP sequence numbers with wraparound.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Feed adds a packet to its flow, returning the flow's reassembled
+// stream when this packet completed new contiguous data (nil
+// otherwise). A FIN or RST marks the stream finished.
+func (a *Assembler) Feed(p *netpkt.Packet) *Stream {
+	if !p.HasTCP {
+		return nil
+	}
+	key := p.Flow()
+	st := a.flows[key]
+	if st == nil {
+		if len(a.flows) >= MaxFlows {
+			a.evictIdle()
+		}
+		st = &stream{key: key}
+		a.flows[key] = st
+	}
+	st.lastSeen = p.TimestampUS
+
+	if p.Flags&(netpkt.FlagFIN|netpkt.FlagRST) != 0 {
+		st.finished = true
+	}
+
+	seq := p.Seq
+	if p.Flags&netpkt.FlagSYN != 0 {
+		// SYN consumes one sequence number; data begins at seq+1.
+		st.baseSeq = seq + 1
+		st.haveBase = true
+		if len(p.Payload) == 0 {
+			return a.result(st, false)
+		}
+		seq++
+	}
+	if len(p.Payload) == 0 {
+		return a.result(st, false)
+	}
+	if !st.haveBase {
+		st.baseSeq = seq
+		st.haveBase = true
+	}
+
+	grew := st.insert(seq, p.Payload)
+	return a.result(st, grew)
+}
+
+func (a *Assembler) result(st *stream, grew bool) *Stream {
+	if !grew && !st.finished {
+		return nil
+	}
+	if len(st.data) == 0 {
+		return nil
+	}
+	return &Stream{Key: st.key, Data: st.data, Finished: st.finished}
+}
+
+// insert merges a segment, returning true if contiguous data grew.
+func (st *stream) insert(seq uint32, data []byte) bool {
+	end := st.baseSeq + uint32(len(st.data))
+	switch {
+	case seq == end:
+		// In-order append.
+		st.data = appendCapped(st.data, data)
+	case seqLess(seq, end):
+		// Overlap/retransmission: keep existing bytes, append any
+		// new tail.
+		skip := end - seq
+		if uint32(len(data)) <= skip {
+			return false
+		}
+		st.data = appendCapped(st.data, data[skip:])
+	default:
+		// Gap: buffer out of order.
+		if len(st.pending) < MaxGapSegments {
+			st.pending = append(st.pending, segment{seq: seq, data: append([]byte(nil), data...)})
+			sort.Slice(st.pending, func(i, j int) bool {
+				return seqLess(st.pending[i].seq, st.pending[j].seq)
+			})
+		}
+		return false
+	}
+	// Drain any pending segments now contiguous.
+	progressed := true
+	for progressed {
+		progressed = false
+		end = st.baseSeq + uint32(len(st.data))
+		rest := st.pending[:0]
+		for _, sg := range st.pending {
+			switch {
+			case seqLess(sg.seq, end) || sg.seq == end:
+				skip := end - sg.seq
+				if uint32(len(sg.data)) > skip {
+					st.data = appendCapped(st.data, sg.data[skip:])
+					progressed = true
+					end = st.baseSeq + uint32(len(st.data))
+				}
+			default:
+				rest = append(rest, sg)
+			}
+		}
+		st.pending = rest
+	}
+	return true
+}
+
+func appendCapped(dst, src []byte) []byte {
+	room := MaxStreamBytes - len(dst)
+	if room <= 0 {
+		return dst
+	}
+	if len(src) > room {
+		src = src[:room]
+	}
+	return append(dst, src...)
+}
+
+// evictIdle drops the least recently active half of the flow table.
+func (a *Assembler) evictIdle() {
+	type entry struct {
+		key  netpkt.FlowKey
+		last uint64
+	}
+	entries := make([]entry, 0, len(a.flows))
+	for k, s := range a.flows {
+		entries = append(entries, entry{k, s.lastSeen})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].last < entries[j].last })
+	for _, e := range entries[:len(entries)/2] {
+		delete(a.flows, e.key)
+	}
+}
+
+// Close removes a finished flow's state and returns its final stream.
+func (a *Assembler) Close(key netpkt.FlowKey) *Stream {
+	st := a.flows[key]
+	if st == nil {
+		return nil
+	}
+	delete(a.flows, key)
+	if len(st.data) == 0 {
+		return nil
+	}
+	return &Stream{Key: key, Data: st.data, Finished: true}
+}
+
+// FlowCount reports the number of tracked flows (for metrics).
+func (a *Assembler) FlowCount() int { return len(a.flows) }
+
+// Drain removes and returns every tracked flow's stream (used when a
+// trace ends without FINs on all connections).
+func (a *Assembler) Drain() []*Stream {
+	var out []*Stream
+	for k, st := range a.flows {
+		if len(st.data) > 0 {
+			out = append(out, &Stream{Key: k, Data: st.data, Finished: true})
+		}
+		delete(a.flows, k)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package report renders NIDS alerts for operators: line-oriented
+// text, machine-readable JSON, and per-source incident aggregation
+// (the paper notes that "further action may be taken against the
+// offending IP address" — this is the module that decides which
+// addresses those are).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"semnids/internal/core"
+)
+
+// JSONAlert is the serialized form of one alert.
+type JSONAlert struct {
+	TimestampUS uint64            `json:"ts_us"`
+	Src         string            `json:"src"`
+	SrcPort     uint16            `json:"src_port"`
+	Dst         string            `json:"dst"`
+	DstPort     uint16            `json:"dst_port"`
+	Template    string            `json:"template"`
+	Severity    string            `json:"severity"`
+	Description string            `json:"description"`
+	Reason      string            `json:"classifier_reason"`
+	FrameSource string            `json:"frame_source"`
+	Bindings    map[string]string `json:"bindings,omitempty"`
+	Offsets     []int             `json:"match_offsets,omitempty"`
+}
+
+// ToJSON converts an alert.
+func ToJSON(a core.Alert) JSONAlert {
+	return JSONAlert{
+		TimestampUS: a.TimestampUS,
+		Src:         a.Src.String(),
+		SrcPort:     a.SrcPort,
+		Dst:         a.Dst.String(),
+		DstPort:     a.DstPort,
+		Template:    a.Detection.Template,
+		Severity:    a.Detection.Severity,
+		Description: a.Detection.Description,
+		Reason:      string(a.Reason),
+		FrameSource: a.FrameSource,
+		Bindings:    a.Detection.Bindings,
+		Offsets:     a.Detection.Addrs,
+	}
+}
+
+// WriteJSON emits one JSON object per line (JSONL).
+func WriteJSON(w io.Writer, alerts []core.Alert) error {
+	enc := json.NewEncoder(w)
+	for _, a := range alerts {
+		if err := enc.Encode(ToJSON(a)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Incident aggregates every alert attributed to one source address.
+type Incident struct {
+	Src       string
+	Alerts    int
+	Templates []string // sorted, deduplicated
+	Severity  string   // highest severity seen
+	FirstUS   uint64
+	LastUS    uint64
+}
+
+var severityRank = map[string]int{"": 0, "low": 1, "medium": 2, "high": 3, "critical": 4}
+
+// Aggregate groups alerts into per-source incidents, ordered by
+// severity (descending) then source address.
+func Aggregate(alerts []core.Alert) []Incident {
+	bySrc := make(map[string]*Incident)
+	tpls := make(map[string]map[string]bool)
+	for _, a := range alerts {
+		src := a.Src.String()
+		inc := bySrc[src]
+		if inc == nil {
+			inc = &Incident{Src: src, FirstUS: a.TimestampUS, LastUS: a.TimestampUS}
+			bySrc[src] = inc
+			tpls[src] = make(map[string]bool)
+		}
+		inc.Alerts++
+		tpls[src][a.Detection.Template] = true
+		if a.TimestampUS < inc.FirstUS {
+			inc.FirstUS = a.TimestampUS
+		}
+		if a.TimestampUS > inc.LastUS {
+			inc.LastUS = a.TimestampUS
+		}
+		if severityRank[a.Detection.Severity] > severityRank[inc.Severity] {
+			inc.Severity = a.Detection.Severity
+		}
+	}
+	out := make([]Incident, 0, len(bySrc))
+	for src, inc := range bySrc {
+		for tname := range tpls[src] {
+			inc.Templates = append(inc.Templates, tname)
+		}
+		sort.Strings(inc.Templates)
+		out = append(out, *inc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if severityRank[out[i].Severity] != severityRank[out[j].Severity] {
+			return severityRank[out[i].Severity] > severityRank[out[j].Severity]
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}
+
+// WriteSummary renders an operator-facing incident table.
+func WriteSummary(w io.Writer, alerts []core.Alert) error {
+	incidents := Aggregate(alerts)
+	if len(incidents) == 0 {
+		_, err := fmt.Fprintln(w, "no incidents")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %-9s %-7s %s\n", "source", "severity", "alerts", "behaviors"); err != nil {
+		return err
+	}
+	for _, inc := range incidents {
+		if _, err := fmt.Fprintf(w, "%-16s %-9s %-7d %s\n",
+			inc.Src, inc.Severity, inc.Alerts, strings.Join(inc.Templates, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

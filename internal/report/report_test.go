@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/sem"
+)
+
+func alert(src string, tpl, sev string, ts uint64) core.Alert {
+	return core.Alert{
+		TimestampUS: ts,
+		Src:         netip.MustParseAddr(src),
+		Dst:         netip.MustParseAddr("192.168.1.10"),
+		SrcPort:     1234, DstPort: 80,
+		Reason: classify.ReasonHoneypot,
+		Detection: sem.Detection{
+			Template: tpl, Severity: sev,
+			Bindings: map[string]string{"A": "eax"},
+			Addrs:    []int{1, 2},
+		},
+		FrameSource: "http-url",
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	alerts := []core.Alert{
+		alert("10.0.0.1", "xor-decrypt-loop", "high", 100),
+		alert("10.0.0.2", "linux-shell-spawn", "critical", 200),
+	}
+	if err := WriteJSON(&buf, alerts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	var ja JSONAlert
+	if err := json.Unmarshal([]byte(lines[0]), &ja); err != nil {
+		t.Fatal(err)
+	}
+	if ja.Src != "10.0.0.1" || ja.Template != "xor-decrypt-loop" ||
+		ja.Bindings["A"] != "eax" || len(ja.Offsets) != 2 {
+		t.Errorf("json alert: %+v", ja)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	alerts := []core.Alert{
+		alert("10.0.0.1", "xor-decrypt-loop", "high", 300),
+		alert("10.0.0.1", "return-address-region", "medium", 100),
+		alert("10.0.0.1", "xor-decrypt-loop", "high", 200),
+		alert("10.0.0.2", "linux-shell-spawn", "critical", 50),
+	}
+	incs := Aggregate(alerts)
+	if len(incs) != 2 {
+		t.Fatalf("%d incidents, want 2", len(incs))
+	}
+	// Critical first.
+	if incs[0].Src != "10.0.0.2" || incs[0].Severity != "critical" {
+		t.Errorf("first incident: %+v", incs[0])
+	}
+	one := incs[1]
+	if one.Alerts != 3 || one.FirstUS != 100 || one.LastUS != 300 {
+		t.Errorf("aggregation: %+v", one)
+	}
+	if len(one.Templates) != 2 || one.Templates[0] != "return-address-region" {
+		t.Errorf("templates: %v", one.Templates)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no incidents") {
+		t.Errorf("empty summary: %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteSummary(&buf, []core.Alert{
+		alert("10.0.0.9", "code-red-ii", "critical", 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10.0.0.9") || !strings.Contains(buf.String(), "code-red-ii") {
+		t.Errorf("summary: %q", buf.String())
+	}
+}

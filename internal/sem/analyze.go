@@ -1,0 +1,182 @@
+package sem
+
+import (
+	"fmt"
+
+	"semnids/internal/ir"
+	"semnids/internal/x86"
+)
+
+// Analyzer runs a template set over extracted binary frames. It is the
+// final stage of the NIDS pipeline (component (e) in the paper's
+// architecture).
+type Analyzer struct {
+	Templates []*Template
+
+	// SweepOffsets are the starting offsets tried when disassembling a
+	// frame; x86 decoding self-synchronizes quickly, so a handful of
+	// offsets covers misaligned extraction.
+	SweepOffsets []int
+
+	// ReturnAddrDetect enables the data-level detector for
+	// return-address regions (repeated dwords equal modulo their
+	// least significant byte pointing into plausible address ranges).
+	ReturnAddrDetect bool
+
+	// MinReturnAddrRun is the number of repeated return-address
+	// dwords required (default 4).
+	MinReturnAddrRun int
+}
+
+// NewAnalyzer returns an analyzer over the given templates with
+// default settings.
+func NewAnalyzer(tpls []*Template) *Analyzer {
+	return &Analyzer{
+		Templates:        tpls,
+		SweepOffsets:     []int{0, 1, 2, 3},
+		ReturnAddrDetect: true,
+		MinReturnAddrRun: 4,
+	}
+}
+
+// AnalyzeFrame disassembles and lifts the frame at several offsets and
+// matches every template against both the threaded (execution) order
+// and the raw sweep order, plus the data-level detectors. At most one
+// detection per template name is reported.
+func (a *Analyzer) AnalyzeFrame(frame []byte) []Detection {
+	var out []Detection
+	seen := make(map[string]bool)
+
+	record := func(d Detection) {
+		if !seen[d.Template] {
+			seen[d.Template] = true
+			out = append(out, d)
+		}
+	}
+
+	for _, off := range a.SweepOffsets {
+		if off >= len(frame) {
+			break
+		}
+		prog := ir.Lift(x86.Sweep(frame, off))
+		orders := []struct {
+			name  string
+			nodes []ir.Node
+		}{
+			{"threaded", prog.Nodes},
+			{"raw", prog.Raw},
+		}
+		for _, ord := range orders {
+			if len(ord.nodes) == 0 {
+				continue
+			}
+			m := newMatcher(ord.nodes, frame)
+			for _, tpl := range a.Templates {
+				if seen[tpl.Name] {
+					continue
+				}
+				if b, idxs, ok := m.match(tpl); ok {
+					record(makeDetection(tpl, ord.name, ord.nodes, b, idxs))
+				}
+			}
+		}
+	}
+
+	if a.ReturnAddrDetect {
+		if d, ok := a.detectReturnAddrRegion(frame); ok {
+			record(d)
+		}
+	}
+	return out
+}
+
+func makeDetection(tpl *Template, order string, nodes []ir.Node, b *Binding, idxs []int) Detection {
+	d := Detection{
+		Template:    tpl.Name,
+		Description: tpl.Description,
+		Severity:    tpl.Severity,
+		Order:       order,
+		Bindings:    make(map[string]string),
+	}
+	for _, i := range idxs {
+		d.Addrs = append(d.Addrs, nodes[i].Inst.Addr)
+	}
+	for v, r := range b.Regs {
+		d.Bindings[v] = r.String()
+	}
+	for v, k := range b.Keys {
+		d.Bindings[v] = fmt.Sprintf("%#x", k)
+	}
+	return d
+}
+
+// addressRanges that a return-address region plausibly points into:
+// the process stack and low loaded-module ranges on the platforms the
+// paper's exploits target.
+var returnAddrRanges = [][2]uint32{
+	{0xbf000000, 0xc0000000}, // Linux stack
+	{0x08040000, 0x08100000}, // Linux exec image vicinity
+	{0x77000000, 0x78200000}, // Windows system DLLs (incl. msvcrt)
+	{0x7ffd0000, 0x80000000}, // Windows PEB/TEB region
+}
+
+func plausibleReturnAddr(v uint32) bool {
+	for _, r := range returnAddrRanges {
+		if v >= r[0] && v < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// detectReturnAddrRegion finds runs of dwords that are equal modulo
+// their least significant byte and point into a plausible address
+// range — the invariant the paper identifies in the return-address
+// region of buffer-overflow exploits (only the LSB can vary, since the
+// return address must land inside the injected buffer).
+func (a *Analyzer) detectReturnAddrRegion(frame []byte) (Detection, bool) {
+	minRun := a.MinReturnAddrRun
+	if minRun <= 0 {
+		minRun = 4
+	}
+	// Try all four alignments; exploits rarely align their RA region
+	// with the start of the extracted frame.
+	for align := 0; align < 4; align++ {
+		run := 0
+		var runBase uint32
+		var runStart int
+		for i := align; i+4 <= len(frame); i += 4 {
+			v := uint32(frame[i]) | uint32(frame[i+1])<<8 |
+				uint32(frame[i+2])<<16 | uint32(frame[i+3])<<24
+			base := v &^ 0xff
+			if plausibleReturnAddr(v) && (run == 0 || base == runBase) {
+				if run == 0 {
+					runBase = base
+					runStart = i
+				}
+				run++
+				if run >= minRun {
+					return Detection{
+						Template:    "return-address-region",
+						Description: "repeated return-address dwords equal modulo LSB pointing into a plausible address range",
+						Severity:    "medium",
+						Addrs:       []int{runStart},
+						Order:       "data",
+						Bindings: map[string]string{
+							"base": fmt.Sprintf("%#x", runBase),
+							"run":  fmt.Sprintf("%d", run),
+						},
+					}, true
+				}
+				continue
+			}
+			run = 0
+			if plausibleReturnAddr(v) {
+				runBase = base
+				runStart = i
+				run = 1
+			}
+		}
+	}
+	return Detection{}, false
+}

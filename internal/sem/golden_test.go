@@ -1,0 +1,44 @@
+package sem
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestBuiltinTemplateArtifact keeps templates/builtin.tpl (the
+// shipped, loadable form of the built-in set) in sync with the code.
+func TestBuiltinTemplateArtifact(t *testing.T) {
+	data, err := os.ReadFile("../../templates/builtin.tpl")
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	parsed, err := ParseTemplates(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	builtin := BuiltinTemplates()
+	if len(parsed) != len(builtin) {
+		t.Fatalf("artifact has %d templates, code has %d — regenerate templates/builtin.tpl",
+			len(parsed), len(builtin))
+	}
+	for i := range builtin {
+		a, b := builtin[i], parsed[i]
+		if a.Name != b.Name || len(a.Stmts) != len(b.Stmts) {
+			t.Errorf("template %d (%s) diverged from the artifact — regenerate templates/builtin.tpl", i, a.Name)
+			continue
+		}
+		for j := range a.Stmts {
+			sa, sb := a.Stmts[j], b.Stmts[j]
+			if (sa.EBX == nil) != (sb.EBX == nil) || (sa.EBX != nil && *sa.EBX != *sb.EBX) {
+				t.Errorf("template %s stmt %d EBX diverged", a.Name, j)
+			}
+			sa.EBX, sb.EBX = nil, nil
+			if !reflect.DeepEqual(sa, sb) {
+				t.Errorf("template %s stmt %d diverged:\n  code:     %+v\n  artifact: %+v",
+					a.Name, j, sa, sb)
+			}
+		}
+	}
+}

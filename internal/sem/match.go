@@ -1,0 +1,491 @@
+package sem
+
+import (
+	"bytes"
+
+	"semnids/internal/ir"
+	"semnids/internal/x86"
+)
+
+// matcher holds the per-sequence matching context.
+type matcher struct {
+	nodes []ir.Node
+	frame []byte
+
+	// defCount[fam][i] = number of defs of register family fam in
+	// nodes[0:i]; lets the clobber check run in O(1) per candidate.
+	defCount [8][]int32
+
+	// flowCount[i] = number of flow-breaking nodes (undecodable bytes,
+	// ret, hlt) in nodes[0:i]. A matched behavior must be control-flow
+	// connected: execution cannot pass through a ret or an
+	// undecodable byte between one matched statement and the next.
+	flowCount []int32
+
+	// addrIndex maps instruction frame offsets to sequence position.
+	addrIndex map[int]int
+
+	steps int // backtracking budget
+}
+
+// maxSearchSteps bounds the backtracking search so that adversarial
+// frames cannot consume unbounded CPU in the analyzer.
+const maxSearchSteps = 1 << 20
+
+func newMatcher(nodes []ir.Node, frame []byte) *matcher {
+	m := &matcher{nodes: nodes, frame: frame, addrIndex: make(map[int]int, len(nodes))}
+	for f := 0; f < 8; f++ {
+		m.defCount[f] = make([]int32, len(nodes)+1)
+	}
+	m.flowCount = make([]int32, len(nodes)+1)
+	for i, n := range nodes {
+		m.addrIndex[n.Inst.Addr] = i
+		for f := 0; f < 8; f++ {
+			m.defCount[f][i+1] = m.defCount[f][i]
+			if n.Defs&(1<<f) != 0 {
+				m.defCount[f][i+1]++
+			}
+		}
+		m.flowCount[i+1] = m.flowCount[i]
+		switch n.Inst.Op {
+		case x86.BAD, x86.RET, x86.HLT:
+			m.flowCount[i+1]++
+		}
+	}
+	return m
+}
+
+// flowBroken reports whether control flow is broken strictly between
+// nodes lo and hi.
+func (m *matcher) flowBroken(lo, hi int) bool {
+	if hi <= lo+1 {
+		return false
+	}
+	return m.flowCount[hi]-m.flowCount[lo+1] > 0
+}
+
+// defsInRange reports whether any register family in set is defined by
+// nodes strictly between lo and hi.
+func (m *matcher) defsInRange(set ir.RegSet, lo, hi int) bool {
+	if hi <= lo+1 {
+		return false
+	}
+	for f := 0; f < 8; f++ {
+		if set&(1<<f) != 0 && m.defCount[f][hi]-m.defCount[f][lo+1] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// expandStmts rewrites repetition (MinRep/MaxRep) into mandatory and
+// optional copies so that the search only deals with optionality.
+func expandStmts(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		min, max := s.MinRep, s.MaxRep
+		if min == 0 && max == 0 {
+			out = append(out, s)
+			continue
+		}
+		if min < 1 {
+			min = 1
+		}
+		if max < min {
+			max = min
+		}
+		base := s
+		base.MinRep, base.MaxRep = 0, 0
+		for i := 0; i < min; i++ {
+			c := base
+			c.Optional = false
+			out = append(out, c)
+		}
+		for i := min; i < max; i++ {
+			c := base
+			c.Optional = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// liveness computes, for each variable, the expanded-statement index
+// range [first, last] over which its register binding must survive.
+type liveRange struct{ first, last int }
+
+func varRefs(s *Stmt) []string {
+	var v []string
+	if s.Ptr != "" {
+		v = append(v, s.Ptr)
+	}
+	if s.Reg != "" {
+		v = append(v, s.Reg)
+	}
+	return v
+}
+
+func liveRanges(stmts []Stmt) map[string]liveRange {
+	lr := make(map[string]liveRange)
+	for i := range stmts {
+		for _, v := range varRefs(&stmts[i]) {
+			if _, ok := lr[v]; !ok {
+				// A bound register must survive until the whole
+				// behavior completes: a decryption loop whose pointer
+				// is clobbered before the back edge would transform a
+				// different location on the next iteration, so the
+				// liveness of every variable extends to the last
+				// statement.
+				lr[v] = liveRange{i, len(stmts) - 1}
+			}
+		}
+	}
+	return lr
+}
+
+// Match searches nodes (one specific order) for the template.
+func (m *matcher) match(tpl *Template) (*Binding, []int, bool) {
+	stmts := expandStmts(tpl.Stmts)
+	lr := liveRanges(stmts)
+	m.steps = 0
+	b := newBinding()
+	matched := make([]int, 0, len(stmts))
+	if m.search(stmts, lr, 0, -1, b, &matched) {
+		return b, matched, true
+	}
+	return nil, nil, false
+}
+
+// search assigns statement s to a node after position prev.
+func (m *matcher) search(stmts []Stmt, lr map[string]liveRange,
+	s, prev int, b *Binding, matched *[]int) bool {
+	if s == len(stmts) {
+		return true
+	}
+	st := &stmts[s]
+
+	// Zero-width statements consume no node.
+	if st.Kind == SFrameData {
+		if m.frameHasData(st) || st.Optional {
+			return m.search(stmts, lr, s+1, prev, b, matched)
+		}
+		return false
+	}
+
+	// live: registers bound to variables that must survive the gap
+	// into this statement.
+	var live ir.RegSet
+	for v, r := range lr {
+		if r.first < s && r.last >= s {
+			if reg, ok := b.Regs[v]; ok {
+				live.Add(reg)
+			}
+		}
+	}
+
+	for i := prev + 1; i < len(m.nodes); i++ {
+		if m.steps++; m.steps > maxSearchSteps {
+			return false
+		}
+		nb := b.clone()
+		if m.matchStmt(st, i, nb, *matched) {
+			// Bound live registers must not be clobbered, and control
+			// flow must not break, between the previous match and
+			// this one.
+			if prev >= 0 && (m.defsInRange(live, prev, i) || m.flowBroken(prev, i)) {
+				break
+			}
+			*matched = append(*matched, i)
+			if m.search(stmts, lr, s+1, i, nb, matched) {
+				*b = *nb
+				return true
+			}
+			*matched = (*matched)[:len(*matched)-1]
+		}
+		// Whether or not node i matched, if it clobbers a live
+		// register or ends control flow, no candidate beyond it can
+		// be valid: the gap (prev, i'] for i' > i necessarily
+		// contains the violation. This bounds the scan to the
+		// clobber-free window, which is what keeps matching fast on
+		// junk-heavy or random frames.
+		if prev >= 0 && (m.nodes[i].Defs.Intersects(live) || m.flowCount[i+1] > m.flowCount[i]) {
+			break
+		}
+	}
+	if st.Optional {
+		return m.search(stmts, lr, s+1, prev, b, matched)
+	}
+	return false
+}
+
+// frameHasData checks the SFrameData predicate. The byte string is
+// carried in the statement's FrameBytes field.
+func (m *matcher) frameHasData(st *Stmt) bool {
+	return len(st.FrameBytes) > 0 && bytes.Contains(m.frame, st.FrameBytes)
+}
+
+// matchStmt tests a single statement against node i, extending the
+// binding nb on success. matched holds the node indices assigned to
+// earlier statements.
+func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
+	n := &m.nodes[i]
+	in := n.Inst
+
+	opAllowed := func(op x86.Opcode) bool {
+		if len(st.Ops) == 0 {
+			return true
+		}
+		for _, o := range st.Ops {
+			if o == op {
+				return true
+			}
+		}
+		return false
+	}
+
+	// ptrMem accepts the effective-address shapes decryption loops
+	// actually use: the pointer register itself, possibly with a small
+	// displacement ([esi], [eax+1]). Random data misdecodes produce
+	// operands like [ecx-0x49bbc9bb], which no loop that derives its
+	// pointer from the payload address would ever contain.
+	ptrMem := func(m x86.MemRef) bool {
+		if st.MemSize != 0 && m.Size != st.MemSize {
+			return false
+		}
+		return m.Base != x86.RegNone && m.Index == x86.RegNone &&
+			m.Disp >= -255 && m.Disp <= 255
+	}
+
+	switch st.Kind {
+	case SMemXform:
+		if !opAllowed(in.Op) {
+			return false
+		}
+		a0, a1 := in.Args[0], in.Args[1]
+		if a0.Kind != x86.KindMem || !ptrMem(a0.Mem) {
+			return false
+		}
+		if !nb.bindReg(st.Ptr, a0.Mem.Base) {
+			return false
+		}
+		// Resolve the key.
+		switch a1.Kind {
+		case x86.KindImm:
+			key := uint32(a1.Imm) & widthMaskFor(a0.Mem.Size)
+			if key == 0 {
+				return false // a zero key is not a transformation
+			}
+			if st.Key != "" {
+				nb.Keys[st.Key] = key
+			}
+		case x86.KindReg:
+			// The key must resolve to a concrete constant, exactly as
+			// the symbolic constants of [5]'s templates must bind to a
+			// value. A real decryptor's key register is loaded from
+			// (possibly obscured) constants that the IR's folding
+			// resolves; a random byte-soup `xor [edi], dl` has no
+			// resolvable key and is rejected — the major benign-data
+			// false-positive class.
+			v, known := n.ConstBefore(a1.Reg)
+			if !known {
+				return false
+			}
+			key := v & widthMaskFor(a0.Mem.Size)
+			if key == 0 {
+				return false
+			}
+			if st.Key != "" {
+				nb.Keys[st.Key] = key
+			}
+		case x86.KindNone:
+			// Unary transforms (not/neg/inc/dec on memory).
+			if in.Op != x86.NOT && in.Op != x86.NEG && in.Op != x86.INC && in.Op != x86.DEC {
+				return false
+			}
+		}
+		return true
+
+	case SMemLoad:
+		switch in.Op {
+		case x86.MOV:
+			a0, a1 := in.Args[0], in.Args[1]
+			if a0.Kind != x86.KindReg || a1.Kind != x86.KindMem || !ptrMem(a1.Mem) {
+				return false
+			}
+			return nb.bindReg(st.Ptr, a1.Mem.Base) && nb.bindReg(st.Reg, a0.Reg)
+		case x86.LODSB, x86.LODSD:
+			return nb.bindReg(st.Ptr, x86.ESI) && nb.bindReg(st.Reg, x86.EAX)
+		}
+		return false
+
+	case SMemStore:
+		switch in.Op {
+		case x86.MOV:
+			a0, a1 := in.Args[0], in.Args[1]
+			if a0.Kind != x86.KindMem || !ptrMem(a0.Mem) || a1.Kind != x86.KindReg {
+				return false
+			}
+			return nb.bindReg(st.Ptr, a0.Mem.Base)
+		case x86.STOSB, x86.STOSD:
+			return nb.bindReg(st.Ptr, x86.EDI)
+		}
+		return false
+
+	case SRegXform:
+		if !opAllowed(in.Op) {
+			return false
+		}
+		a0, a1 := in.Args[0], in.Args[1]
+		if a0.Kind != x86.KindReg {
+			return false
+		}
+		// Source must not be memory: loads are a separate statement.
+		if a1.Kind == x86.KindMem {
+			return false
+		}
+		return true
+
+	case SAdvance:
+		fam, delta, ok := n.Advance()
+		if !ok {
+			return false
+		}
+		if delta < 0 {
+			delta = -delta
+		}
+		min, max := st.MinDelta, st.MaxDelta
+		if min == 0 && max == 0 {
+			min, max = 1, 8
+		}
+		if delta < min || delta > max {
+			return false
+		}
+		return nb.bindReg(st.Ptr, fam)
+
+	case SBackEdge:
+		if !in.Op.IsCondBranch() || !in.HasTarget {
+			return false
+		}
+		// The target must be a real instruction boundary in this
+		// decode, already visited in sequence order. This covers both
+		// plain backward loops and out-of-order code (where the
+		// back-edge target can be later in address order but earlier
+		// in execution order), while rejecting phantom loops in
+		// misaligned decodes whose targets fall between instructions.
+		j, ok := m.addrIndex[in.Target]
+		if !ok || j >= i {
+			return false
+		}
+		// The loop must actually re-execute the matched behavior: the
+		// back edge re-enters at or before the first matched
+		// statement (loop setup code may sit between the entry point
+		// and the transform, so "at or before" is the right bound).
+		if len(matched) > 0 && j > matched[0] {
+			return false
+		}
+		// Executable loops contain no undecodable bytes and no
+		// early returns: a BAD marker or a ret inside [target,
+		// backedge] means this "loop" is a phantom in misdecoded
+		// data, since execution could never complete an iteration.
+		if m.flowCount[i+1]-m.flowCount[j] > 0 {
+			return false
+		}
+		return true
+
+	case SSyscall:
+		if in.Op != x86.INT || in.Args[0].Kind != x86.KindImm || in.Args[0].Imm != 0x80 {
+			return false
+		}
+		v, known := n.ConstBefore(x86.EAX)
+		if !known || v != st.Num {
+			return false
+		}
+		if st.EBX != nil {
+			bv, bknown := n.ConstBefore(x86.EBX)
+			if !bknown || bv != *st.EBX {
+				return false
+			}
+		}
+		return true
+
+	case SConst:
+		for _, a := range in.Args {
+			switch a.Kind {
+			case x86.KindImm:
+				for _, v := range st.Values {
+					if uint32(a.Imm) == v {
+						return true
+					}
+				}
+			case x86.KindReg:
+				if cv, known := n.ConstBefore(a.Reg); known {
+					for _, v := range st.Values {
+						if cv == v {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+
+	case SConstInRange:
+		if in.Op != x86.MOV && in.Op != x86.PUSH {
+			return false
+		}
+		a0, a1 := in.Args[0], in.Args[1]
+		if in.Op == x86.MOV {
+			if a0.Kind != x86.KindReg || a1.Kind != x86.KindImm {
+				return false
+			}
+			v := uint32(a1.Imm)
+			if v < st.Lo || v > st.Hi {
+				return false
+			}
+			return nb.bindReg(st.Reg, a0.Reg)
+		}
+		// push imm in range (followed elsewhere by ret/pop)
+		if a0.Kind != x86.KindImm {
+			return false
+		}
+		v := uint32(a0.Imm)
+		return v >= st.Lo && v <= st.Hi
+
+	case SIndirect:
+		if in.Op != x86.CALL && in.Op != x86.JMP {
+			return false
+		}
+		var through x86.Reg
+		switch a0 := in.Args[0]; a0.Kind {
+		case x86.KindReg:
+			through = a0.Reg
+		case x86.KindMem:
+			through = a0.Mem.Base
+		}
+		if through == x86.RegNone {
+			return false
+		}
+		if st.Reg != "" && !nb.bindReg(st.Reg, through) {
+			return false
+		}
+		if st.Lo != 0 || st.Hi != 0 {
+			v, known := n.ConstBefore(through)
+			if !known || v < st.Lo || v > st.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func widthMaskFor(size uint8) uint32 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}

@@ -1,0 +1,63 @@
+package sem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPhantomRateOnRandomFrames statistically bounds the matcher's
+// phantom-match rate on adversarially random binary frames (content
+// that the extractor would only ever forward from a genuinely
+// suspicious source). The benign §5.4 corpus never reaches this path;
+// this test guards the matcher's precision margin itself.
+func TestPhantomRateOnRandomFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	rng := rand.New(rand.NewSource(20060612))
+	a := NewAnalyzer(BuiltinTemplates())
+	const frames = 1500
+	hits := 0
+	for i := 0; i < frames; i++ {
+		n := 512 + rng.Intn(2048)
+		frame := make([]byte, n)
+		rng.Read(frame)
+		for _, d := range a.AnalyzeFrame(frame) {
+			// return-address-region is a data-level heuristic with a
+			// different precision budget; count code templates only.
+			if d.Template != "return-address-region" {
+				hits++
+				t.Logf("frame %d: %v", i, d)
+				break
+			}
+		}
+	}
+	// Measured steady-state is ~0.05%; fail if it regresses past 0.5%.
+	if hits > frames/200 {
+		t.Errorf("phantom rate %d/%d exceeds budget", hits, frames)
+	}
+}
+
+// TestPhantomRateOnStructuredData: structured benign binary (sawtooth,
+// repeating records) must produce no code-template matches at all.
+func TestPhantomRateOnStructuredData(t *testing.T) {
+	a := NewAnalyzer(BuiltinTemplates())
+	gen := []func(i int) byte{
+		func(i int) byte { return byte(i) },              // sawtooth
+		func(i int) byte { return byte(i % 16) },         // short period
+		func(i int) byte { return byte(i * 37) },         // stride
+		func(i int) byte { return "HEADER01"[i%8] },      // record marker
+		func(i int) byte { return byte(i>>4) ^ byte(i) }, // mixed
+	}
+	for gi, g := range gen {
+		frame := make([]byte, 4096)
+		for i := range frame {
+			frame[i] = g(i)
+		}
+		for _, d := range a.AnalyzeFrame(frame) {
+			if d.Template != "return-address-region" {
+				t.Errorf("generator %d: phantom %v", gi, d)
+			}
+		}
+	}
+}

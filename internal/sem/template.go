@@ -1,0 +1,174 @@
+// Package sem implements the paper's semantic analyzer: behavioral
+// templates over the IR and a unification-based matcher that is robust
+// to NOP insertion, junk instructions, out-of-order code (via
+// jump-threaded execution order) and register reassignment (via
+// template variables).
+//
+// A template is a sequence of abstract statements over named variables.
+// Following the formalization the paper borrows from Christodorescu et
+// al. [5]: a program P satisfies a template T iff P contains an
+// instruction sequence exhibiting the behavior specified by T. The
+// matcher searches for an in-order (not necessarily contiguous)
+// assignment of template statements to program instructions under a
+// consistent variable binding, with bound registers not clobbered by
+// intervening instructions while live.
+package sem
+
+import (
+	"fmt"
+
+	"semnids/internal/x86"
+)
+
+// StmtKind enumerates the abstract statement vocabulary used by the
+// built-in templates.
+type StmtKind uint8
+
+const (
+	// SMemXform matches an ALU transform of a byte/word in memory:
+	// op [Ptr], key — the heart of a decryption loop. Ops restricts
+	// the opcode set; Key (optional) binds the key constant when it
+	// can be resolved.
+	SMemXform StmtKind = iota
+
+	// SMemLoad matches mov RegVar, [Ptr].
+	SMemLoad
+
+	// SMemStore matches mov [Ptr], reg.
+	SMemStore
+
+	// SRegXform matches a register-destination transform whose opcode
+	// is in Ops. It does not bind registers; combined with
+	// surrounding load/store statements it captures "a sequence of
+	// mov/or/and/not operations on a memory location and register
+	// pair" (the alternate ADMmutate scheme). MinRep/MaxRep control
+	// repetition.
+	SRegXform
+
+	// SAdvance matches an instruction that adds a constant delta with
+	// |delta| in [MinDelta, MaxDelta] to the register bound to Ptr.
+	SAdvance
+
+	// SBackEdge matches a conditional control transfer whose target
+	// is an already-matched or earlier instruction — the loop
+	// back-edge.
+	SBackEdge
+
+	// SSyscall matches int 0x80 with EAX holding Num; EBX, when
+	// non-nil, must also hold *EBX.
+	SSyscall
+
+	// SConst matches any instruction materializing or using one of
+	// Values as an immediate or a known register constant.
+	SConst
+
+	// SConstInRange matches an instruction loading a constant in
+	// [Lo, Hi] into a register, binding Reg.
+	SConstInRange
+
+	// SIndirect matches call/jmp through the register bound to Reg
+	// (directly or as a memory base).
+	SIndirect
+
+	// SFrameData is a zero-width predicate on the raw frame bytes:
+	// the byte string Data must occur somewhere in the frame. Used
+	// for evidence like the literal "/bin/sh" string referenced via
+	// jmp/call/pop addressing.
+	SFrameData
+)
+
+// Stmt is one template statement.
+type Stmt struct {
+	Kind StmtKind
+
+	Ptr string // pointer variable name (SMemXform, SMemLoad, SMemStore, SAdvance)
+	Reg string // register variable name (SMemLoad, SConstInRange, SIndirect)
+	Key string // key variable name; binds the resolved key constant (SMemXform)
+
+	Ops []x86.Opcode // allowed opcodes (SMemXform, SRegXform)
+
+	// MemSize restricts the memory access width in bytes for
+	// SMemXform/SMemLoad/SMemStore (0 = any width).
+	MemSize uint8
+
+	MinDelta, MaxDelta int64 // |delta| bounds for SAdvance
+
+	Num uint32  // syscall number for SSyscall
+	EBX *uint32 // required EBX for SSyscall, nil for don't-care
+
+	Values []uint32 // accepted constants for SConst
+	Lo, Hi uint32   // constant range for SConstInRange
+
+	MinRep, MaxRep int // repetition for SRegXform (0,0 = exactly one)
+
+	// FrameBytes is the byte string an SFrameData statement requires
+	// somewhere in the raw frame.
+	FrameBytes []byte
+
+	// Optional marks a statement that may be skipped entirely.
+	Optional bool
+}
+
+// Template is a named behavior specification.
+type Template struct {
+	Name        string
+	Description string
+	Stmts       []Stmt
+	// Severity is a coarse label carried into alerts.
+	Severity string
+}
+
+func (t *Template) String() string {
+	return fmt.Sprintf("template %s (%d statements)", t.Name, len(t.Stmts))
+}
+
+// Binding is the variable assignment produced by a successful match.
+type Binding struct {
+	Regs map[string]x86.Reg // variable -> bound register family
+	Keys map[string]uint32  // key variable -> resolved constant
+}
+
+func newBinding() *Binding {
+	return &Binding{Regs: make(map[string]x86.Reg), Keys: make(map[string]uint32)}
+}
+
+func (b *Binding) clone() *Binding {
+	nb := newBinding()
+	for k, v := range b.Regs {
+		nb.Regs[k] = v
+	}
+	for k, v := range b.Keys {
+		nb.Keys[k] = v
+	}
+	return nb
+}
+
+// bindReg unifies var name with register family r.
+func (b *Binding) bindReg(name string, r x86.Reg) bool {
+	if name == "" {
+		return true
+	}
+	fam := r.Family()
+	if cur, ok := b.Regs[name]; ok {
+		return cur == fam
+	}
+	b.Regs[name] = fam
+	return true
+}
+
+// Detection reports one matched template within a frame.
+type Detection struct {
+	Template    string
+	Description string
+	Severity    string
+	// Addrs are the frame offsets of the matched instructions.
+	Addrs []int
+	// Bindings renders the variable assignment for the alert.
+	Bindings map[string]string
+	// Order records which instruction order matched ("threaded" or "raw").
+	Order string
+}
+
+func (d Detection) String() string {
+	return fmt.Sprintf("%s at %v (%s)", d.Template, d.Addrs, d.Order)
+}

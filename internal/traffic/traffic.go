@@ -1,0 +1,336 @@
+// Package traffic synthesizes network traffic with known ground truth:
+// benign HTTP/DNS/SMTP sessions standing in for the paper's production
+// traces, worm traffic mixing Code Red II exploitation vectors into
+// background noise (Table 3), scanning attackers that trip the
+// dark-address-space classifier, and exploit deliveries at honeypots
+// (Table 1 / Table 2 workloads).
+package traffic
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+
+	"semnids/internal/netpkt"
+)
+
+// Network layout shared by generators and the NIDS configuration in
+// tests and benchmarks.
+var (
+	// ServerNet hosts the protected web/mail servers.
+	ServerNet = netip.MustParsePrefix("192.168.1.0/24")
+	// DarkNet is the un-used address space registered with the NIDS.
+	DarkNet = netip.MustParsePrefix("192.168.2.0/24")
+	// HoneypotAddr is the decoy host registered with the NIDS.
+	HoneypotAddr = netip.MustParseAddr("192.168.1.250")
+	// WebServer is the main production web server.
+	WebServer = netip.MustParseAddr("192.168.1.10")
+	// MailServer handles SMTP.
+	MailServer = netip.MustParseAddr("192.168.1.25")
+	// DNSServer answers queries.
+	DNSServer = netip.MustParseAddr("192.168.1.53")
+)
+
+// Gen is a deterministic traffic generator.
+type Gen struct {
+	rng  *rand.Rand
+	now  uint64 // trace clock, microseconds
+	ipid uint16
+}
+
+// NewGen returns a generator seeded for reproducibility.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the generator's current trace clock.
+func (g *Gen) Now() uint64 { return g.now }
+
+// Advance moves the trace clock forward by up to maxUS microseconds.
+func (g *Gen) Advance(maxUS uint64) {
+	if maxUS == 0 {
+		return
+	}
+	g.now += uint64(g.rng.Int63n(int64(maxUS))) + 1
+}
+
+// RandClient picks a random external client address.
+func (g *Gen) RandClient() netip.Addr {
+	return netip.AddrFrom4([4]byte{
+		10, byte(g.rng.Intn(250) + 1), byte(g.rng.Intn(250) + 1), byte(g.rng.Intn(250) + 1)})
+}
+
+// tcp builds one TCP packet, stamping clock and IP id.
+func (g *Gen) tcp(src, dst netip.Addr, sport, dport uint16, seq uint32, flags uint8, payload []byte) *netpkt.Packet {
+	g.ipid++
+	return &netpkt.Packet{
+		SrcIP: src, DstIP: dst, Proto: netpkt.ProtoTCP, HasTCP: true,
+		SrcPort: sport, DstPort: dport, Seq: seq, Flags: flags,
+		Payload: payload, TimestampUS: g.now, IPID: g.ipid, TTL: 64,
+	}
+}
+
+// udp builds one UDP packet.
+func (g *Gen) udp(src, dst netip.Addr, sport, dport uint16, payload []byte) *netpkt.Packet {
+	g.ipid++
+	return &netpkt.Packet{
+		SrcIP: src, DstIP: dst, Proto: netpkt.ProtoUDP, HasUDP: true,
+		SrcPort: sport, DstPort: dport,
+		Payload: payload, TimestampUS: g.now, IPID: g.ipid, TTL: 64,
+	}
+}
+
+// TCPSession renders a complete client->server TCP exchange: SYN,
+// client data segments (split at MSS boundaries), server response
+// segments, FIN. Both directions are returned in order.
+func (g *Gen) TCPSession(client, server netip.Addr, dport uint16, request, response []byte) []*netpkt.Packet {
+	const mss = 1400
+	sport := uint16(g.rng.Intn(28000) + 1025)
+	var out []*netpkt.Packet
+	cseq := g.rng.Uint32()
+	sseq := g.rng.Uint32()
+
+	out = append(out, g.tcp(client, server, sport, dport, cseq, netpkt.FlagSYN, nil))
+	g.Advance(200)
+	out = append(out, g.tcp(server, client, dport, sport, sseq, netpkt.FlagSYN|netpkt.FlagACK, nil))
+	g.Advance(200)
+
+	seq := cseq + 1
+	for off := 0; off < len(request); off += mss {
+		end := off + mss
+		if end > len(request) {
+			end = len(request)
+		}
+		out = append(out, g.tcp(client, server, sport, dport, seq, netpkt.FlagACK|netpkt.FlagPSH, request[off:end]))
+		seq += uint32(end - off)
+		g.Advance(300)
+	}
+
+	sq := sseq + 1
+	for off := 0; off < len(response); off += mss {
+		end := off + mss
+		if end > len(response) {
+			end = len(response)
+		}
+		out = append(out, g.tcp(server, client, dport, sport, sq, netpkt.FlagACK|netpkt.FlagPSH, response[off:end]))
+		sq += uint32(end - off)
+		g.Advance(300)
+	}
+
+	out = append(out, g.tcp(client, server, sport, dport, seq, netpkt.FlagFIN|netpkt.FlagACK, nil))
+	g.Advance(100)
+	out = append(out, g.tcp(server, client, dport, sport, sq, netpkt.FlagFIN|netpkt.FlagACK, nil))
+	g.Advance(500)
+	return out
+}
+
+var benignPaths = []string{
+	"/", "/index.html", "/news/today.html", "/images/logo.png",
+	"/styles/site.css", "/scripts/app.js", "/about/", "/contact.html",
+	"/search?q=weather+forecast", "/blog/2006/06/entry.html",
+	"/downloads/readme.txt", "/cgi-bin/counter.cgi?page=main",
+}
+
+var benignAgents = []string{
+	"Mozilla/5.0 (X11; U; Linux i686; en-US; rv:1.8)",
+	"Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+	"Opera/8.54 (Windows NT 5.1; U; en)",
+	"Wget/1.10.2",
+}
+
+var loremWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"network", "intrusion", "detection", "report", "weather", "today",
+	"service", "message", "system", "update", "release", "notes",
+	"conference", "schedule", "student", "library", "research", "paper",
+}
+
+// text produces n words of filler prose.
+func (g *Gen) text(n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, loremWords[g.rng.Intn(len(loremWords))]...)
+		if g.rng.Intn(9) == 0 {
+			out = append(out, '.')
+		}
+	}
+	return out
+}
+
+// htmlBody renders a small HTML page of filler prose.
+func (g *Gen) htmlBody() []byte {
+	body := []byte("<html><head><title>")
+	body = append(body, g.text(4)...)
+	body = append(body, []byte("</title></head><body><p>")...)
+	body = append(body, g.text(60+g.rng.Intn(300))...)
+	body = append(body, []byte("</p></body></html>")...)
+	return body
+}
+
+// imageBody renders structured binary resembling a JPEG: markers and
+// entropy-coded data. It exercises the binary-extraction path with
+// benign content.
+func (g *Gen) imageBody() []byte {
+	out := []byte{0xff, 0xd8, 0xff, 0xe0, 0x00, 0x10, 'J', 'F', 'I', 'F', 0}
+	n := 512 + g.rng.Intn(2048)
+	for i := 0; i < n; i++ {
+		out = append(out, byte(g.rng.Intn(256)))
+	}
+	return append(out, 0xff, 0xd9)
+}
+
+// HTTPSession produces one benign web fetch.
+func (g *Gen) HTTPSession(client netip.Addr) []*netpkt.Packet {
+	path := benignPaths[g.rng.Intn(len(benignPaths))]
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: www.example.com\r\nUser-Agent: %s\r\nAccept: */*\r\n\r\n",
+		path, benignAgents[g.rng.Intn(len(benignAgents))])
+	var body []byte
+	ctype := "text/html"
+	if g.rng.Intn(5) == 0 {
+		body = g.imageBody()
+		ctype = "image/jpeg"
+	} else {
+		body = g.htmlBody()
+	}
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: Apache/1.3.33\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		ctype, len(body))
+	return g.TCPSession(client, WebServer, 80, []byte(req), append([]byte(resp), body...))
+}
+
+// DNSQuery produces a benign UDP DNS lookup and reply.
+func (g *Gen) DNSQuery(client netip.Addr) []*netpkt.Packet {
+	name := fmt.Sprintf("host%d.example.com", g.rng.Intn(1000))
+	q := make([]byte, 12)
+	q[0], q[1] = byte(g.rng.Intn(256)), byte(g.rng.Intn(256))
+	q[2] = 0x01 // recursion desired
+	q[5] = 1    // one question
+	for _, label := range splitLabels(name) {
+		q = append(q, byte(len(label)))
+		q = append(q, label...)
+	}
+	q = append(q, 0, 0, 1, 0, 1) // A IN
+	sport := uint16(g.rng.Intn(28000) + 1025)
+	query := g.udp(client, DNSServer, sport, 53, q)
+	g.Advance(300)
+	resp := append(append([]byte{}, q...), 0xc0, 0x0c, 0, 1, 0, 1, 0, 0, 1, 0x2c, 0, 4,
+		93, 184, byte(g.rng.Intn(256)), byte(g.rng.Intn(256)))
+	resp[2] |= 0x80 // response bit
+	reply := g.udp(DNSServer, client, 53, sport, resp)
+	g.Advance(200)
+	return []*netpkt.Packet{query, reply}
+}
+
+func splitLabels(name string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			if i > start {
+				out = append(out, name[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// SMTPSession produces a benign mail delivery.
+func (g *Gen) SMTPSession(client netip.Addr) []*netpkt.Packet {
+	msg := fmt.Sprintf("EHLO client.example.org\r\nMAIL FROM:<user%d@example.org>\r\n"+
+		"RCPT TO:<staff@example.com>\r\nDATA\r\nSubject: %s\r\n\r\n%s\r\n.\r\nQUIT\r\n",
+		g.rng.Intn(100), g.text(4), g.text(80))
+	resp := "220 mail.example.com ESMTP\r\n250 OK\r\n250 OK\r\n250 OK\r\n354 go\r\n250 queued\r\n221 bye\r\n"
+	return g.TCPSession(client, MailServer, 25, []byte(msg), []byte(resp))
+}
+
+// InfectedMailSession delivers a mass-mailer-style message: a MIME
+// multipart mail whose base64 attachment is the given executable
+// content (e.g. a Netsky-like binary carrying a decryption loop).
+func (g *Gen) InfectedMailSession(client netip.Addr, attachment []byte) []*netpkt.Packet {
+	enc := base64.StdEncoding.EncodeToString(attachment)
+	var body strings.Builder
+	body.WriteString("EHLO victim-host\r\nMAIL FROM:<user@infected.example>\r\n" +
+		"RCPT TO:<target@example.com>\r\nDATA\r\n" +
+		"Subject: " + string(g.text(3)) + "\r\n" +
+		"MIME-Version: 1.0\r\n" +
+		"Content-Type: multipart/mixed; boundary=\"----=_part\"\r\n\r\n" +
+		"------=_part\r\nContent-Type: text/plain\r\n\r\n" +
+		string(g.text(15)) + "\r\n" +
+		"------=_part\r\n" +
+		"Content-Type: application/octet-stream; name=\"document.exe\"\r\n" +
+		"Content-Transfer-Encoding: base64\r\n" +
+		"Content-Disposition: attachment; filename=\"document.exe\"\r\n\r\n")
+	for off := 0; off < len(enc); off += 76 {
+		end := off + 76
+		if end > len(enc) {
+			end = len(enc)
+		}
+		body.WriteString(enc[off:end])
+		body.WriteString("\r\n")
+	}
+	body.WriteString("------=_part--\r\n.\r\nQUIT\r\n")
+	resp := "220 mail.example.com ESMTP\r\n250 OK\r\n250 OK\r\n250 OK\r\n354 go\r\n250 queued\r\n221 bye\r\n"
+	return g.TCPSession(client, MailServer, 25, []byte(body.String()), []byte(resp))
+}
+
+// FTPSession produces a benign FTP control dialogue.
+func (g *Gen) FTPSession(client netip.Addr) []*netpkt.Packet {
+	cmds := fmt.Sprintf("USER anonymous\r\nPASS guest%d@example.org\r\n"+
+		"CWD /pub/mirrors\r\nLIST\r\nRETR file%d.tar.gz\r\nQUIT\r\n",
+		g.rng.Intn(1000), g.rng.Intn(100))
+	resp := "220 ftp.example.com ready\r\n331 password please\r\n230 logged in\r\n" +
+		"250 CWD ok\r\n150 opening\r\n226 done\r\n221 bye\r\n"
+	return g.TCPSession(client, WebServer, 21, []byte(cmds), []byte(resp))
+}
+
+// POP3Session produces a benign mailbox check.
+func (g *Gen) POP3Session(client netip.Addr) []*netpkt.Packet {
+	cmds := fmt.Sprintf("APOP user%d %032x\r\nUIDL\r\nRETR 1\r\nQUIT\r\n",
+		g.rng.Intn(100), g.rng.Uint64())
+	resp := "+OK POP3 ready\r\n+OK\r\n+OK 1 messages\r\n+OK message follows\r\n" +
+		string(g.text(60)) + "\r\n.\r\n+OK bye\r\n"
+	return g.TCPSession(client, MailServer, 110, []byte(cmds), []byte(resp))
+}
+
+// BenignSession emits one random benign session of any protocol.
+func (g *Gen) BenignSession() []*netpkt.Packet {
+	client := g.RandClient()
+	switch g.rng.Intn(12) {
+	case 0, 1:
+		return g.DNSQuery(client)
+	case 2:
+		return g.SMTPSession(client)
+	case 3:
+		return g.FTPSession(client)
+	case 4:
+		return g.POP3Session(client)
+	default:
+		return g.HTTPSession(client)
+	}
+}
+
+// ScanThenExploit models an attacking host: it probes `scans` distinct
+// dark-space addresses (tripping the classifier), then delivers the
+// exploit payload to the target.
+func (g *Gen) ScanThenExploit(attacker, target netip.Addr, dport uint16, payload []byte, scans int) []*netpkt.Packet {
+	var out []*netpkt.Packet
+	base := DarkNet.Addr().As4()
+	for i := 0; i < scans; i++ {
+		dst := netip.AddrFrom4([4]byte{base[0], base[1], base[2], byte(10 + i)})
+		out = append(out, g.tcp(attacker, dst, uint16(40000+i), dport, g.rng.Uint32(), netpkt.FlagSYN, nil))
+		g.Advance(2000)
+	}
+	out = append(out, g.TCPSession(attacker, target, dport, payload, []byte("HTTP/1.0 200 OK\r\n\r\n"))...)
+	return out
+}
+
+// ExploitAtHoneypot delivers an exploit to the registered decoy (the
+// paper's Table 1 experiment setup).
+func (g *Gen) ExploitAtHoneypot(attacker netip.Addr, dport uint16, payload []byte) []*netpkt.Packet {
+	return g.TCPSession(attacker, HoneypotAddr, dport, payload, nil)
+}

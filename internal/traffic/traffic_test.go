@@ -1,0 +1,163 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+
+	"semnids/internal/netpkt"
+	"semnids/internal/reasm"
+)
+
+func TestTCPSessionWellFormed(t *testing.T) {
+	g := NewGen(1)
+	client := g.RandClient()
+	req := []byte("GET / HTTP/1.0\r\n\r\n")
+	resp := []byte("HTTP/1.0 200 OK\r\n\r\nhello")
+	pkts := g.TCPSession(client, WebServer, 80, req, resp)
+
+	// SYN, SYN-ACK first; FINs at the end.
+	if pkts[0].Flags&netpkt.FlagSYN == 0 || pkts[1].Flags&(netpkt.FlagSYN|netpkt.FlagACK) != netpkt.FlagSYN|netpkt.FlagACK {
+		t.Error("handshake malformed")
+	}
+	if pkts[len(pkts)-1].Flags&netpkt.FlagFIN == 0 {
+		t.Error("no FIN at end")
+	}
+	// Timestamps non-decreasing.
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].TimestampUS < pkts[i-1].TimestampUS {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+	// The client side reassembles to the request.
+	a := reasm.New()
+	var last *reasm.Stream
+	for _, p := range pkts {
+		if p.SrcIP == client {
+			if s := a.Feed(p); s != nil {
+				last = s
+			}
+		}
+	}
+	if last == nil || !bytes.Equal(last.Data, req) {
+		t.Fatalf("client stream = %q", last.Data)
+	}
+}
+
+func TestSessionSegmentsLargePayloads(t *testing.T) {
+	g := NewGen(2)
+	big := make([]byte, 5000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	pkts := g.TCPSession(g.RandClient(), WebServer, 80, big, nil)
+	dataPkts := 0
+	for _, p := range pkts {
+		if len(p.Payload) > 0 {
+			dataPkts++
+			if len(p.Payload) > 1400 {
+				t.Errorf("segment exceeds MSS: %d", len(p.Payload))
+			}
+		}
+	}
+	if dataPkts < 4 {
+		t.Errorf("large payload in %d segments", dataPkts)
+	}
+}
+
+func TestBenignSessionsParse(t *testing.T) {
+	g := NewGen(3)
+	for i := 0; i < 100; i++ {
+		for _, p := range g.BenignSession() {
+			frame := p.Serialize()
+			if err := netpkt.VerifyChecksums(frame); err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			if _, err := netpkt.Parse(frame); err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestScanThenExploitTouchesDarkSpace(t *testing.T) {
+	g := NewGen(4)
+	attacker := g.RandClient()
+	pkts := g.ScanThenExploit(attacker, WebServer, 80, []byte("EXPLOIT"), 5)
+	dark := 0
+	for _, p := range pkts {
+		if DarkNet.Contains(p.DstIP) {
+			dark++
+		}
+	}
+	if dark != 5 {
+		t.Errorf("%d dark-space probes, want 5", dark)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := TraceSpec{Seed: 5, BenignSessions: 30, CodeRedInstances: 2}
+	a := Synthesize(spec)
+	b := Synthesize(spec)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Payload, b[i].Payload) || a[i].SrcIP != b[i].SrcIP {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeGroundTruth(t *testing.T) {
+	spec := TraceSpec{Seed: 6, BenignSessions: 50, CodeRedInstances: 3,
+		ExploitPayloads: [][]byte{[]byte("FAKE-EXPLOIT-1")}}
+	pkts := Synthesize(spec)
+	criiSources := make(map[string]bool)
+	extraSources := make(map[string]bool)
+	for _, p := range pkts {
+		if bytes.Contains(p.Payload, []byte("/default.ida?")) {
+			criiSources[p.SrcIP.String()] = true
+		}
+		if bytes.Contains(p.Payload, []byte("FAKE-EXPLOIT-1")) {
+			extraSources[p.SrcIP.String()] = true
+		}
+	}
+	if len(criiSources) != 3 {
+		t.Errorf("%d Code Red sources, want 3", len(criiSources))
+	}
+	if len(extraSources) != 1 {
+		t.Errorf("%d extra exploit sources, want 1", len(extraSources))
+	}
+}
+
+func TestStreamMatchesSynthesize(t *testing.T) {
+	spec := TraceSpec{Seed: 7, BenignSessions: 20, CodeRedInstances: 1}
+	want := Synthesize(spec)
+	i := 0
+	err := Stream(spec, func(p *netpkt.Packet) error {
+		if i >= len(want) || p.TimestampUS != want[i].TimestampUS {
+			t.Fatalf("packet %d diverges", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != len(want) {
+		t.Fatalf("streamed %d packets, want %d (err %v)", i, len(want), err)
+	}
+}
+
+func TestWritePcapCount(t *testing.T) {
+	var buf bytes.Buffer
+	spec := TraceSpec{Seed: 8, BenignSessions: 10}
+	count, err := WritePcap(&buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := netpkt.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != count {
+		t.Errorf("pcap has %d packets, writer reported %d", len(pkts), count)
+	}
+}

@@ -1,0 +1,92 @@
+// Package wire is the live-capture substitute: a software broadcast
+// segment. Endpoints inject raw Ethernet frames; every tap receives
+// every frame, like a NIDS host plugged into a mirrored switch port —
+// the paper's deployment ("a standalone machine connected to the
+// network"). Generators and the detector can then run as concurrent
+// goroutines against the same segment.
+package wire
+
+import (
+	"errors"
+	"sync"
+)
+
+// Frame is one captured unit.
+type Frame struct {
+	Data []byte
+	TS   uint64 // microseconds
+}
+
+// ErrClosed is returned when injecting into a closed bus.
+var ErrClosed = errors.New("wire: bus closed")
+
+// Bus is a broadcast segment. Taps added after frames were injected
+// only see subsequent frames (like a real capture).
+type Bus struct {
+	mu     sync.Mutex
+	taps   []chan Frame
+	closed bool
+
+	injected uint64
+	dropped  uint64
+}
+
+// NewBus returns an empty segment.
+func NewBus() *Bus { return &Bus{} }
+
+// Tap attaches a listener with the given channel buffer. A slow tap
+// whose buffer fills drops frames (counted), as a real capture
+// interface would.
+func (b *Bus) Tap(buffer int) <-chan Frame {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Frame, buffer)
+	if b.closed {
+		close(ch)
+		return ch
+	}
+	b.taps = append(b.taps, ch)
+	return ch
+}
+
+// Inject broadcasts one frame to all taps. The data is copied so the
+// caller may reuse its buffer.
+func (b *Bus) Inject(frame []byte, ts uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.injected++
+	cp := append([]byte(nil), frame...)
+	for _, ch := range b.taps {
+		select {
+		case ch <- Frame{Data: cp, TS: ts}:
+		default:
+			b.dropped++
+		}
+	}
+	return nil
+}
+
+// Close ends the segment; taps' channels are closed after pending
+// frames drain.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ch := range b.taps {
+		close(ch)
+	}
+	b.taps = nil
+}
+
+// Stats reports (frames injected, tap deliveries dropped).
+func (b *Bus) Stats() (injected, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.injected, b.dropped
+}

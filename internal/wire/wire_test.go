@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	nids "semnids"
+	"semnids/internal/exploits"
+	"semnids/internal/traffic"
+)
+
+func TestBroadcast(t *testing.T) {
+	b := NewBus()
+	t1 := b.Tap(8)
+	t2 := b.Tap(8)
+	if err := b.Inject([]byte{1, 2, 3}, 42); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	for i, tap := range []<-chan Frame{t1, t2} {
+		f, ok := <-tap
+		if !ok || f.TS != 42 || len(f.Data) != 3 {
+			t.Errorf("tap %d: %+v ok=%v", i, f, ok)
+		}
+		if _, ok := <-tap; ok {
+			t.Errorf("tap %d: extra frame", i)
+		}
+	}
+}
+
+func TestInjectCopies(t *testing.T) {
+	b := NewBus()
+	tap := b.Tap(1)
+	buf := []byte{9, 9}
+	_ = b.Inject(buf, 0)
+	buf[0] = 0 // caller reuses its buffer
+	f := <-tap
+	if f.Data[0] != 9 {
+		t.Error("frame shares the caller's buffer")
+	}
+}
+
+func TestSlowTapDrops(t *testing.T) {
+	b := NewBus()
+	_ = b.Tap(1) // never drained
+	_ = b.Inject([]byte{1}, 0)
+	_ = b.Inject([]byte{2}, 0)
+	if _, dropped := b.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestClosedBus(t *testing.T) {
+	b := NewBus()
+	b.Close()
+	b.Close() // idempotent
+	if err := b.Inject([]byte{1}, 0); err != ErrClosed {
+		t.Errorf("inject after close: %v", err)
+	}
+	tap := b.Tap(1)
+	if _, ok := <-tap; ok {
+		t.Error("tap on closed bus delivered a frame")
+	}
+}
+
+// TestLiveDetection runs the detector as a live tap while an attacker
+// goroutine injects traffic — the paper's deployment model end to end.
+func TestLiveDetection(t *testing.T) {
+	bus := NewBus()
+	tap := bus.Tap(1 << 12)
+
+	detector, err := nids.New(nids.Config{
+		Honeypots: []string{traffic.HoneypotAddr.String()},
+		DarkSpace: []string{traffic.DarkNet.String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the detector host
+		defer wg.Done()
+		for f := range tap {
+			_ = detector.ProcessFrame(f.Data, f.TS)
+		}
+		detector.Flush()
+	}()
+
+	// Background clients and one attacker share the segment.
+	g := traffic.NewGen(77)
+	for i := 0; i < 20; i++ {
+		for _, p := range g.BenignSession() {
+			if err := bus.Inject(p.Serialize(), p.TimestampUS); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	exp := exploits.Table1Exploits()[0]
+	for _, p := range g.ExploitAtHoneypot(netip.MustParseAddr("10.9.9.1"), exp.DstPort, exp.Payload) {
+		if err := bus.Inject(p.Serialize(), p.TimestampUS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus.Close()
+	wg.Wait()
+
+	injected, dropped := bus.Stats()
+	if dropped != 0 {
+		t.Errorf("tap dropped %d of %d frames", dropped, injected)
+	}
+	found := false
+	for _, a := range detector.Alerts() {
+		if a.Detection.Template == "linux-shell-spawn" && a.Src == netip.MustParseAddr("10.9.9.1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live exploit not detected: %v", detector.Alerts())
+	}
+}

@@ -1,0 +1,144 @@
+// Package x86 implements an IA-32 (32-bit x86) instruction decoder,
+// encoder, and instruction model sufficient for analyzing network
+// shellcode, polymorphic decoder loops, and the junk/NOP-like
+// instruction streams produced by engines such as ADMmutate and Clet.
+//
+// It is the reproduction's substitute for the commercial IDA Pro
+// disassembler used in the paper: the semantic stages only need
+// mnemonics, operands, and control flow, all of which this package
+// provides for the instruction subset observed in network exploits.
+package x86
+
+import "fmt"
+
+// Reg identifies an x86 register. 32-bit, 8-bit and 16-bit general
+// purpose registers are distinct values; Family reports aliasing
+// (e.g. AL, AH, AX and EAX share a family).
+type Reg uint8
+
+// General purpose registers. The numeric order of each size class
+// matches the hardware register numbers used in ModRM encodings.
+const (
+	RegNone Reg = iota
+
+	// 32-bit
+	EAX
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+
+	// 8-bit low/high
+	AL
+	CL
+	DL
+	BL
+	AH
+	CH
+	DH
+	BH
+
+	// 16-bit
+	AX
+	CX
+	DX
+	BX
+	SP
+	BP
+	SI
+	DI
+)
+
+const numRegs = int(DI) + 1
+
+// regClass returns 0 for none, 4 for 32-bit, 1 for 8-bit, 2 for 16-bit.
+func (r Reg) Size() int {
+	switch {
+	case r == RegNone:
+		return 0
+	case r >= EAX && r <= EDI:
+		return 4
+	case r >= AL && r <= BH:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Num returns the 3-bit hardware register number used in ModRM/SIB
+// encodings for this register.
+func (r Reg) Num() byte {
+	switch {
+	case r >= EAX && r <= EDI:
+		return byte(r - EAX)
+	case r >= AL && r <= BH:
+		return byte(r - AL)
+	case r >= AX && r <= DI:
+		return byte(r - AX)
+	}
+	return 0xff
+}
+
+// Family returns the canonical 32-bit register that this register
+// aliases. AL, AH and AX all return EAX. 32-bit registers return
+// themselves; RegNone returns RegNone.
+func (r Reg) Family() Reg {
+	switch {
+	case r == RegNone:
+		return RegNone
+	case r >= EAX && r <= EDI:
+		return r
+	case r >= AL && r <= BL:
+		return EAX + (r - AL)
+	case r >= AH && r <= BH:
+		// AH..BH alias EAX..EBX (numbers 4..7 are the high bytes of 0..3).
+		return EAX + (r - AH)
+	default:
+		return EAX + (r - AX)
+	}
+}
+
+// IsHigh8 reports whether r is one of the high-byte registers AH..BH.
+func (r Reg) IsHigh8() bool { return r >= AH && r <= BH }
+
+// reg32 returns the 32-bit register with hardware number n (0..7).
+func reg32(n byte) Reg { return EAX + Reg(n&7) }
+
+// reg8 returns the 8-bit register with hardware number n (0..7).
+func reg8(n byte) Reg { return AL + Reg(n&7) }
+
+// reg16 returns the 16-bit register with hardware number n (0..7).
+func reg16(n byte) Reg { return AX + Reg(n&7) }
+
+// regBySize returns the register with hardware number n in the size
+// class size (1, 2 or 4 bytes).
+func regBySize(n byte, size int) Reg {
+	switch size {
+	case 1:
+		return reg8(n)
+	case 2:
+		return reg16(n)
+	default:
+		return reg32(n)
+	}
+}
+
+var regNames = [...]string{
+	RegNone: "none",
+	EAX:     "eax", ECX: "ecx", EDX: "edx", EBX: "ebx",
+	ESP: "esp", EBP: "ebp", ESI: "esi", EDI: "edi",
+	AL: "al", CL: "cl", DL: "dl", BL: "bl",
+	AH: "ah", CH: "ch", DH: "dh", BH: "bh",
+	AX: "ax", CX: "cx", DX: "dx", BX: "bx",
+	SP: "sp", BP: "bp", SI: "si", DI: "di",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}

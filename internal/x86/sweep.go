@@ -1,0 +1,96 @@
+package x86
+
+// Sweep linearly disassembles b starting at offset start. Undecodable
+// bytes are represented as single-byte BAD instructions (with the raw
+// byte in Args[0].Imm) so that the sweep always terminates and junk
+// data interleaved with code does not abort analysis — the behaviour a
+// disassembler needs when pointed at extracted network payload bytes.
+func Sweep(b []byte, start int) []Inst {
+	var out []Inst
+	for pos := start; pos < len(b); {
+		in, err := Decode(b, pos)
+		if err != nil {
+			out = append(out, Inst{
+				Addr: pos, Len: 1, Op: BAD,
+				Args: [3]Operand{ImmOp(int64(b[pos]))},
+			})
+			pos++
+			continue
+		}
+		out = append(out, in)
+		pos += in.Len
+	}
+	return out
+}
+
+// SweepAll disassembles the whole buffer from offset 0.
+func SweepAll(b []byte) []Inst { return Sweep(b, 0) }
+
+// CodeRatio estimates how much of b decodes as plausible instructions:
+// the fraction of bytes covered by non-BAD instructions in a linear
+// sweep. Used by the extraction stage to decide whether a payload
+// region plausibly contains machine code.
+func CodeRatio(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	insts := SweepAll(b)
+	good := 0
+	for _, in := range insts {
+		if in.Op != BAD {
+			good += in.Len
+		}
+	}
+	return float64(good) / float64(len(b))
+}
+
+// ThreadOrder recovers the execution order of instructions that have
+// been shuffled with unconditional jmp chains (the "out-of-order code"
+// obfuscation of Figure 1(c) in the paper). Starting from the first
+// instruction, it follows straight-line flow, threads through
+// unconditional jumps with known in-frame targets, and returns the
+// instructions in execution order. Conditional branches (including
+// loop) continue on the fall-through path, which matches how a
+// decryption loop body executes on its first iteration.
+//
+// Each instruction is visited at most once; cycles (the loop back-edge)
+// terminate the walk.
+func ThreadOrder(insts []Inst) []Inst {
+	if len(insts) == 0 {
+		return nil
+	}
+	byAddr := make(map[int]int, len(insts))
+	for i, in := range insts {
+		byAddr[in.Addr] = i
+	}
+	seen := make([]bool, len(insts))
+	var out []Inst
+	i := 0
+	for i >= 0 && i < len(insts) && !seen[i] {
+		seen[i] = true
+		in := insts[i]
+		if in.Op == JMP && in.HasTarget {
+			// Thread through the jump without emitting it.
+			j, ok := byAddr[in.Target]
+			if !ok {
+				break
+			}
+			i = j
+			continue
+		}
+		out = append(out, in)
+		if in.Op == RET || in.Op == HLT {
+			break
+		}
+		if in.Op == CALL && in.HasTarget {
+			// Follow in-frame calls: getpc idioms (jmp/call/pop) put
+			// the decoder body at the call target.
+			if j, ok := byAddr[in.Target]; ok {
+				i = j
+				continue
+			}
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package nids is the public API of semnids, a from-scratch Go
+// reproduction of the semantics-aware network intrusion detection
+// system of Scheirer & Chuah, "Network Intrusion Detection with
+// Semantics-Aware Capability" (IPPS 2006).
+//
+// The system segregates suspicious traffic from the regular flow
+// (honeypot decoys and dark-address-space scan detection), extracts
+// binary data from suspicious payloads, disassembles it, lifts it to
+// an intermediate representation, and matches behavioral templates —
+// detecting polymorphic decryption loops, Linux shell-spawning
+// payloads (including port-binding shells), and the Code Red II
+// exploitation vector without any reliance on static byte signatures.
+//
+// Quick start:
+//
+//	detector, err := nids.New(nids.Config{
+//		Honeypots: []string{"192.168.1.250"},
+//		DarkSpace: []string{"192.168.2.0/24"},
+//	})
+//	...
+//	detector.ProcessFrame(ethernetFrame, timestampMicros)
+//	detector.Flush()
+//	for _, alert := range detector.Alerts() { ... }
+package nids
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/netpkt"
+	"semnids/internal/sem"
+)
+
+// Alert is one detection event attributed to a network flow.
+type Alert = core.Alert
+
+// Detection describes the matched template within an alert.
+type Detection = sem.Detection
+
+// Metrics reports pipeline counters.
+type Metrics = core.Metrics
+
+// Config configures a detector.
+type Config struct {
+	// Honeypots lists decoy host addresses (e.g. "192.168.1.250").
+	// Any source sending traffic to a decoy becomes suspicious.
+	Honeypots []string
+
+	// DarkSpace lists un-used CIDR prefixes (e.g. "192.168.2.0/24").
+	// A source probing ScanThreshold distinct dark addresses becomes
+	// suspicious.
+	DarkSpace []string
+
+	// ScanThreshold is the dark-space threshold t (default 3).
+	ScanThreshold int
+
+	// DisableClassification analyzes every packet payload (the
+	// paper's Section 5.4 false-positive experiment configuration).
+	DisableClassification bool
+
+	// FullScan additionally disables binary extraction pruning and
+	// widens disassembly offsets — the exhaustive whole-input
+	// baseline used for efficiency comparisons.
+	FullScan bool
+
+	// Workers sets the analysis worker pool size (default: number of
+	// CPUs).
+	Workers int
+
+	// XorTemplateOnly restricts the template set to the xor
+	// decryption template (the paper's first Table 2 configuration).
+	XorTemplateOnly bool
+
+	// TemplatesDSL, when non-empty, replaces the built-in template
+	// set with templates parsed from the text format (see
+	// internal/sem's DSL documentation). Lets operators describe new
+	// behaviors without recompiling.
+	TemplatesDSL string
+
+	// OnAlert, when non-nil, is invoked for each alert as it fires
+	// (from worker goroutines).
+	OnAlert func(Alert)
+}
+
+// NIDS is a running detector instance. Feed packets from one
+// goroutine; analysis runs concurrently inside.
+type NIDS struct {
+	inner *core.NIDS
+}
+
+// New validates the configuration and starts a detector.
+func New(cfg Config) (*NIDS, error) {
+	var ccfg classify.Config
+	for _, h := range cfg.Honeypots {
+		a, err := netip.ParseAddr(h)
+		if err != nil {
+			return nil, fmt.Errorf("nids: bad honeypot address %q: %w", h, err)
+		}
+		ccfg.Honeypots = append(ccfg.Honeypots, a)
+	}
+	for _, d := range cfg.DarkSpace {
+		p, err := netip.ParsePrefix(d)
+		if err != nil {
+			return nil, fmt.Errorf("nids: bad dark-space prefix %q: %w", d, err)
+		}
+		ccfg.DarkSpace = append(ccfg.DarkSpace, p)
+	}
+	ccfg.ScanThreshold = cfg.ScanThreshold
+	ccfg.Disabled = cfg.DisableClassification
+
+	tpls := sem.BuiltinTemplates()
+	if cfg.XorTemplateOnly {
+		tpls = sem.XorOnlyTemplates()
+	}
+	if cfg.TemplatesDSL != "" {
+		parsed, err := sem.ParseTemplates(strings.NewReader(cfg.TemplatesDSL))
+		if err != nil {
+			return nil, fmt.Errorf("nids: templates: %w", err)
+		}
+		tpls = parsed
+	}
+	inner := core.New(core.Config{
+		Classify:  ccfg,
+		Templates: tpls,
+		Workers:   cfg.Workers,
+		FullScan:  cfg.FullScan,
+		OnAlert:   cfg.OnAlert,
+	})
+	return &NIDS{inner: inner}, nil
+}
+
+// ProcessFrame feeds one raw Ethernet frame with its capture timestamp
+// (microseconds). Unparseable frames are ignored and reported as an
+// error without stopping the detector.
+func (n *NIDS) ProcessFrame(frame []byte, tsUS uint64) error {
+	p, err := netpkt.Parse(frame)
+	if err != nil {
+		return err
+	}
+	p.TimestampUS = tsUS
+	n.inner.ProcessPacket(p)
+	return nil
+}
+
+// ProcessPcap runs the detector over a classic-format pcap stream and
+// flushes.
+func (n *NIDS) ProcessPcap(r io.Reader) error {
+	return n.inner.ProcessPcap(r)
+}
+
+// Flush analyzes unfinished flows and drains the worker pool. The
+// detector cannot be fed after Flush.
+func (n *NIDS) Flush() { n.inner.Flush() }
+
+// Alerts returns the alerts recorded so far (complete after Flush).
+func (n *NIDS) Alerts() []Alert { return n.inner.Alerts() }
+
+// Stats returns pipeline counters.
+func (n *NIDS) Stats() Metrics { return n.inner.Snapshot() }
+
+// AnalyzeBytes runs only the semantic stages (disassembler, IR,
+// template matcher) over a binary — the host-scan mode used for
+// on-disk samples such as the Netsky binaries in the paper's
+// efficiency comparison.
+func AnalyzeBytes(data []byte) []Detection {
+	return core.AnalyzeBytes(data, nil, nil)
+}
+
+// AnalyzePayload runs extraction plus the semantic stages over one
+// application-layer payload, returning the union of detections.
+func AnalyzePayload(payload []byte) []Detection {
+	return core.AnalyzePayload(payload)
+}

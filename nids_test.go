@@ -1,0 +1,145 @@
+package nids
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"semnids/internal/exploits"
+	"semnids/internal/traffic"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	n, err := New(Config{
+		Honeypots: []string{traffic.HoneypotAddr.String()},
+		DarkSpace: []string{traffic.DarkNet.String()},
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := traffic.NewGen(1)
+	exp := exploits.Table1Exploits()[0]
+	for _, p := range g.ExploitAtHoneypot(netip.MustParseAddr("10.1.2.3"), exp.DstPort, exp.Payload) {
+		if err := n.ProcessFrame(p.Serialize(), p.TimestampUS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Flush()
+	found := false
+	for _, a := range n.Alerts() {
+		if a.Detection.Template == "linux-shell-spawn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shell-spawn alert: %v", n.Alerts())
+	}
+	if n.Stats().Packets == 0 {
+		t.Error("no packets counted")
+	}
+}
+
+func TestFacadeConfigErrors(t *testing.T) {
+	if _, err := New(Config{Honeypots: []string{"not-an-ip"}}); err == nil {
+		t.Error("bad honeypot accepted")
+	}
+	if _, err := New(Config{DarkSpace: []string{"10.0.0.0/99"}}); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}
+
+func TestFacadePcap(t *testing.T) {
+	var buf bytes.Buffer
+	spec := traffic.TraceSpec{Seed: 2, BenignSessions: 30, CodeRedInstances: 1}
+	if _, err := traffic.WritePcap(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{
+		Honeypots: []string{traffic.HoneypotAddr.String()},
+		DarkSpace: []string{traffic.DarkNet.String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ProcessPcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, a := range n.Alerts() {
+		if a.Detection.Template == "code-red-ii" {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Errorf("code-red-ii alerts = %d, want 1", got)
+	}
+}
+
+func TestAnalyzeBytesFacade(t *testing.T) {
+	ds := AnalyzeBytes(exploits.NetskyBinary(1, 22*1024))
+	if len(ds) == 0 {
+		t.Error("netsky binary produced no detections")
+	}
+}
+
+func TestAnalyzePayloadFacade(t *testing.T) {
+	ds := AnalyzePayload(exploits.CodeRedIIRequest())
+	found := false
+	for _, d := range ds {
+		if d.Template == "code-red-ii" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("code-red-ii not found: %v", ds)
+	}
+}
+
+func TestXorTemplateOnlyConfig(t *testing.T) {
+	n, err := New(Config{DisableClassification: true, XorTemplateOnly: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Flush()
+}
+
+func TestTemplatesDSLConfig(t *testing.T) {
+	// A custom template set via the DSL: only shell spawns alert.
+	dsl := "template custom-spawn severity=critical\n" +
+		"  desc execve reached\n" +
+		"  syscall 0xb\n"
+	n, err := New(Config{
+		Honeypots:    []string{traffic.HoneypotAddr.String()},
+		TemplatesDSL: dsl,
+		Workers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := traffic.NewGen(9)
+	exp := exploits.Table1Exploits()[0]
+	for _, p := range g.ExploitAtHoneypot(netip.MustParseAddr("10.0.0.9"), exp.DstPort, exp.Payload) {
+		if err := n.ProcessFrame(p.Serialize(), p.TimestampUS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Flush()
+	found := false
+	for _, a := range n.Alerts() {
+		if a.Detection.Template == "custom-spawn" {
+			found = true
+		}
+		if a.Detection.Template == "linux-shell-spawn" {
+			t.Error("built-in template ran despite DSL replacement")
+		}
+	}
+	if !found {
+		t.Fatalf("custom template did not fire: %v", n.Alerts())
+	}
+
+	// Invalid DSL must be rejected at construction.
+	if _, err := New(Config{TemplatesDSL: "template broken\n  bogus\n"}); err == nil {
+		t.Error("invalid DSL accepted")
+	}
+}
