@@ -261,6 +261,64 @@ func BenchmarkSigmatchBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeFrameParallel measures semantic-analysis throughput
+// with one long-lived analyzer shared by all workers over a mixed
+// frame set — the shape of the production worker pool. The pooled
+// scratch state must scale without contention or per-frame allocation.
+func BenchmarkAnalyzeFrameParallel(b *testing.B) {
+	eng := polymorph.NewADMmutate(31337)
+	frames := make([][]byte, 0, 8)
+	for i := 0; i < 4; i++ {
+		s, _, err := eng.Encode(shellcode.ClassicPush().Bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, s)
+	}
+	frames = append(frames,
+		exploits.NetskyBinary(9, 4*1024),
+		exploits.NetskyBinary(10, 4*1024),
+	)
+	var total int64
+	for _, f := range frames {
+		total += int64(len(f))
+	}
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	b.SetBytes(total)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for _, f := range frames {
+				if len(a.AnalyzeFrame(f)) == 0 {
+					b.Fatal("frame not detected")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAnalyzeFrameBenign measures the analyzer's allocation
+// behavior on frames with nothing to detect — the dominant case on a
+// live sensor, and the allocation-regression harness for the hot
+// path: run with -benchmem and expect ~0 allocs/op in steady state.
+func BenchmarkAnalyzeFrameBenign(b *testing.B) {
+	frame := make([]byte, 4096)
+	rng := uint32(0x9e3779b9)
+	for i := range frame {
+		rng = rng*1664525 + 1013904223
+		frame[i] = byte(rng >> 24)
+	}
+	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(a.AnalyzeFrame(frame)) != 0 {
+			b.Fatal("benign frame detected")
+		}
+	}
+}
+
 // --- Component benchmarks ---
 
 // BenchmarkDecode measures raw instruction decode throughput.
@@ -270,6 +328,33 @@ func BenchmarkDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		x86.SweepAll(code)
 	}
+}
+
+// BenchmarkDecodeCached measures the memoized multi-offset sweep the
+// analyzer actually performs: four offsets over one frame through a
+// reused DecodeCache, versus four independent naive sweeps.
+func BenchmarkDecodeCached(b *testing.B) {
+	code := exploits.NetskyBinary(2, 8*1024)
+	b.Run("memoized", func(b *testing.B) {
+		c := x86.NewDecodeCache(nil)
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Reset(code)
+			for off := 0; off < 4; off++ {
+				c.Sweep(off)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.SetBytes(int64(len(code)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < 4; off++ {
+				x86.Sweep(code, off)
+			}
+		}
+	})
 }
 
 // BenchmarkLift measures IR lifting (threading + constant propagation

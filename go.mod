@@ -1,0 +1,3 @@
+module semnids
+
+go 1.24

@@ -47,8 +47,15 @@ type Metrics struct {
 	StreamsAnalyzed uint64
 	Frames          uint64
 	FrameBytes      uint64
-	Alerts          uint64
+	// CodeFrames counts analyzed frames whose code ratio (fraction of
+	// bytes decoding as plausible instructions) reached codeFrameRatio.
+	CodeFrames uint64
+	Alerts     uint64
 }
+
+// codeFrameRatio is the code-ratio threshold above which an analyzed
+// frame is counted as plausible machine code in the metrics.
+const codeFrameRatio = 0.5
 
 // Config parameterizes the NIDS.
 type Config struct {
@@ -108,9 +115,38 @@ type NIDS struct {
 	flowMeta map[netpkt.FlowKey]flowInfo
 
 	metrics struct {
-		packets, selected, streams, frames, frameBytes, alerts atomic.Uint64
+		packets, selected, streams, frames, frameBytes, codeFrames, alerts atomic.Uint64
 	}
 	closed bool
+}
+
+// Cached compiled builtin template set: building and compiling the
+// templates costs real work, and analysis entry points used to redo it
+// on every call. The set (and the default analyzer over it) is built
+// once and shared; templates and analyzer are immutable after
+// compilation, so concurrent use is safe.
+var (
+	builtinOnce     sync.Once
+	builtinSet      []*sem.Template
+	builtinAnalyzer *sem.Analyzer
+)
+
+func builtinTemplates() []*sem.Template {
+	builtinOnce.Do(func() {
+		builtinSet = sem.BuiltinTemplates()
+		for _, t := range builtinSet {
+			t.Compile()
+		}
+		builtinAnalyzer = sem.NewAnalyzer(builtinSet)
+	})
+	return builtinSet
+}
+
+// defaultAnalyzer returns the shared analyzer over the compiled
+// builtin set.
+func defaultAnalyzer() *sem.Analyzer {
+	builtinTemplates()
+	return builtinAnalyzer
 }
 
 type alertKey struct {
@@ -133,7 +169,7 @@ type job struct {
 // New builds and starts a NIDS instance.
 func New(cfg Config) *NIDS {
 	if cfg.Templates == nil {
-		cfg.Templates = sem.BuiltinTemplates()
+		cfg.Templates = builtinTemplates()
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -177,7 +213,12 @@ func (n *NIDS) worker() {
 	for j := range n.jobs {
 		n.metrics.frames.Add(1)
 		n.metrics.frameBytes.Add(uint64(len(j.frame.Data)))
-		for _, d := range n.analyzer.AnalyzeFrame(j.frame.Data) {
+		// The code-ratio estimate and the analyzer's offset-0 sweep
+		// are the same decode, shared through the frame's cache.
+		if j.frame.CodeRatio() >= codeFrameRatio {
+			n.metrics.codeFrames.Add(1)
+		}
+		for _, d := range n.analyzer.AnalyzeFrameCached(j.frame.Data, j.frame.DecodeCache()) {
 			n.emit(j, d)
 		}
 	}
@@ -336,18 +377,22 @@ func (n *NIDS) Snapshot() Metrics {
 		StreamsAnalyzed: n.metrics.streams.Load(),
 		Frames:          n.metrics.frames.Load(),
 		FrameBytes:      n.metrics.frameBytes.Load(),
+		CodeFrames:      n.metrics.codeFrames.Load(),
 		Alerts:          n.metrics.alerts.Load(),
 	}
 }
 
 // AnalyzePayload runs extraction and the semantic stages over one
-// application payload, outside any pipeline instance.
+// application payload, outside any pipeline instance. It reuses the
+// shared compiled builtin analyzer instead of rebuilding the template
+// set per call, and shares each frame's decode cache between
+// extraction and analysis.
 func AnalyzePayload(payload []byte) []sem.Detection {
-	a := sem.NewAnalyzer(sem.BuiltinTemplates())
+	a := defaultAnalyzer()
 	var out []sem.Detection
 	seen := make(map[string]bool)
 	for _, f := range extract.Extract(payload) {
-		for _, d := range a.AnalyzeFrame(f.Data) {
+		for _, d := range a.AnalyzeFrameCached(f.Data, f.DecodeCache()) {
 			if !seen[d.Template] {
 				seen[d.Template] = true
 				out = append(out, d)
@@ -361,8 +406,11 @@ func AnalyzePayload(payload []byte) []sem.Detection {
 // stages directly over a binary (no network stages), as done for the
 // Netsky efficiency comparison.
 func AnalyzeBytes(data []byte, tpls []*sem.Template, offsets []int) []sem.Detection {
+	if tpls == nil && offsets == nil {
+		return defaultAnalyzer().AnalyzeFrame(data)
+	}
 	if tpls == nil {
-		tpls = sem.BuiltinTemplates()
+		tpls = builtinTemplates()
 	}
 	a := sem.NewAnalyzer(tpls)
 	if offsets != nil {

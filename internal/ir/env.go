@@ -81,6 +81,17 @@ func (e Env) clone() Env {
 	return c
 }
 
+// snapshot returns a copy suitable for storing as a Node's Pre state:
+// register knowledge is copied, but the symbolic stack is dropped. A
+// Pre state is only ever queried through Get (register constants); the
+// stack is consulted exclusively on the live state during evaluation,
+// so copying it per instruction would be pure allocation overhead.
+func (e Env) snapshot() Env {
+	c := e
+	c.stack = nil
+	return c
+}
+
 // regGeom returns the byte width and offset of r within its family.
 func regGeom(r x86.Reg) (width, off uint) {
 	switch {

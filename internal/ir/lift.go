@@ -99,29 +99,40 @@ type Program struct {
 	// Raw is the linear-sweep order, also lifted, for matching code
 	// that is sequential but junk-laden.
 	Raw []Node
+
+	// threaded is reusable scratch for the threaded instruction order.
+	threaded []x86.Inst
 }
 
 // Lift analyzes a decoded instruction stream: it computes the threaded
 // execution order, runs the constant-propagation evaluator along both
 // the threaded and raw orders, and fills in def/use sets.
 func Lift(insts []x86.Inst) *Program {
-	threaded := x86.ThreadOrder(insts)
-	return &Program{
-		Nodes: analyze(threaded),
-		Raw:   analyze(insts),
-	}
+	p := &Program{}
+	p.Reuse(insts)
+	return p
 }
 
-// analyze runs the abstract evaluator over insts in the given order.
-func analyze(insts []x86.Inst) []Node {
-	nodes := make([]Node, len(insts))
+// Reuse re-lifts a new instruction stream into p, reusing the node and
+// scratch storage of previous lifts. The hot analysis path lifts every
+// frame at several sweep offsets; reusing one Program per worker keeps
+// those lifts allocation-free once the buffers have grown to frame
+// size.
+func (p *Program) Reuse(insts []x86.Inst) {
+	p.threaded = x86.ThreadOrderAppend(p.threaded[:0], insts)
+	p.Nodes = analyzeInto(p.Nodes[:0], p.threaded)
+	p.Raw = analyzeInto(p.Raw[:0], insts)
+}
+
+// analyzeInto runs the abstract evaluator over insts in the given
+// order, appending the resulting nodes to the caller-managed slice.
+func analyzeInto(nodes []Node, insts []x86.Inst) []Node {
 	env := NewEnv()
-	for i, in := range insts {
-		n := &nodes[i]
-		n.Inst = in
-		n.Seq = i
-		n.Pre = env.clone()
-		computeDefsUses(n)
+	base := len(nodes)
+	for i := range insts {
+		in := &insts[i]
+		nodes = append(nodes, Node{Inst: *in, Seq: i, Pre: env.snapshot()})
+		computeDefsUses(&nodes[base+i])
 		step(&env, in)
 	}
 	return nodes
@@ -129,7 +140,7 @@ func analyze(insts []x86.Inst) []Node {
 
 // computeDefsUses fills the def/use sets for one instruction.
 func computeDefsUses(n *Node) {
-	in := n.Inst
+	in := &n.Inst
 	addOperandUses := func(o x86.Operand) {
 		switch o.Kind {
 		case x86.KindReg:
@@ -330,7 +341,7 @@ func computeDefsUses(n *Node) {
 }
 
 // step advances the abstract state over one instruction.
-func step(env *Env, in x86.Inst) {
+func step(env *Env, in *x86.Inst) {
 	a0, a1 := in.Args[0], in.Args[1]
 
 	// Resolve a source operand to a (value, known) pair.

@@ -1,7 +1,9 @@
 package sem
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 
 	"semnids/internal/ir"
 	"semnids/internal/x86"
@@ -10,6 +12,11 @@ import (
 // Analyzer runs a template set over extracted binary frames. It is the
 // final stage of the NIDS pipeline (component (e) in the paper's
 // architecture).
+//
+// An Analyzer holds only configuration; AnalyzeFrame draws its working
+// state (decode cache, lifted program, matcher tables) from a pool, so
+// one long-lived Analyzer may be shared by any number of concurrent
+// workers.
 type Analyzer struct {
 	Templates []*Template
 
@@ -29,8 +36,14 @@ type Analyzer struct {
 }
 
 // NewAnalyzer returns an analyzer over the given templates with
-// default settings.
+// default settings. The templates are compiled eagerly, so an invalid
+// template (more than maxTemplateVars distinct variables) panics here,
+// in the constructing goroutine, rather than on the first analyzed
+// frame inside a worker.
 func NewAnalyzer(tpls []*Template) *Analyzer {
+	for _, t := range tpls {
+		t.Compile()
+	}
 	return &Analyzer{
 		Templates:        tpls,
 		SweepOffsets:     []int{0, 1, 2, 3},
@@ -39,44 +52,122 @@ func NewAnalyzer(tpls []*Template) *Analyzer {
 	}
 }
 
+// frameScratch is the reusable per-AnalyzeFrame working state: the
+// memoized decode cache, the lifted program, the matcher's index
+// tables and the small bookkeeping slices. Pooling it makes the whole
+// hot path allocation-free in steady state.
+type frameScratch struct {
+	cache x86.DecodeCache
+	prog  ir.Program
+	m     matcher
+	seen  []string
+	cands []candidate
+}
+
+// candidate pairs a template with its compiled form for the offset
+// loop, after the frame-level prefilter.
+type candidate struct {
+	tpl *Template
+	ct  *compiledTemplate
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(frameScratch) }}
+
 // AnalyzeFrame disassembles and lifts the frame at several offsets and
 // matches every template against both the threaded (execution) order
 // and the raw sweep order, plus the data-level detectors. At most one
 // detection per template name is reported.
 func (a *Analyzer) AnalyzeFrame(frame []byte) []Detection {
-	var out []Detection
-	seen := make(map[string]bool)
+	return a.AnalyzeFrameCached(frame, nil)
+}
 
+// AnalyzeFrameCached is AnalyzeFrame reusing a decode cache that has
+// already (partially) swept the same frame — typically built by the
+// extraction stage's code-ratio estimate — so that extraction and
+// analysis share one decode. cache may be nil, or must have been
+// created over the same frame bytes.
+func (a *Analyzer) AnalyzeFrameCached(frame []byte, cache *x86.DecodeCache) []Detection {
+	sc := scratchPool.Get().(*frameScratch)
+	defer scratchPool.Put(sc)
+	if cache == nil {
+		sc.cache.Reset(frame)
+		cache = &sc.cache
+	}
+
+	var out []Detection
+	seen := sc.seen[:0]
+	defer func() { sc.seen = seen[:0] }()
+	seenName := func(name string) bool {
+		for _, s := range seen {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
 	record := func(d Detection) {
-		if !seen[d.Template] {
-			seen[d.Template] = true
+		if !seenName(d.Template) {
+			seen = append(seen, d.Template)
 			out = append(out, d)
 		}
+	}
+
+	// Frame-level prefilter: a template whose mandatory SFrameData
+	// bytes are absent from the frame cannot match at any offset or
+	// order, so it is rejected with one bytes.Contains per byte string
+	// instead of once per offset × order search. Distinct template
+	// names are counted so the offset loop can stop as soon as every
+	// name has a detection.
+	cands := sc.cands[:0]
+	defer func() { sc.cands = cands[:0] }()
+	names := 0
+candidates:
+	for _, tpl := range a.Templates {
+		ct := tpl.compiled()
+		for _, need := range ct.frameNeeds {
+			if !bytes.Contains(frame, need) {
+				continue candidates
+			}
+		}
+		dup := false
+		for _, c := range cands {
+			if c.tpl.Name == tpl.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names++
+		}
+		cands = append(cands, candidate{tpl, ct})
 	}
 
 	for _, off := range a.SweepOffsets {
 		if off >= len(frame) {
 			break
 		}
-		prog := ir.Lift(x86.Sweep(frame, off))
-		orders := []struct {
+		if len(cands) == 0 || len(seen) == names {
+			break
+		}
+		sc.prog.Reuse(cache.Sweep(off))
+		orders := [2]struct {
 			name  string
 			nodes []ir.Node
 		}{
-			{"threaded", prog.Nodes},
-			{"raw", prog.Raw},
+			{"threaded", sc.prog.Nodes},
+			{"raw", sc.prog.Raw},
 		}
 		for _, ord := range orders {
 			if len(ord.nodes) == 0 {
 				continue
 			}
-			m := newMatcher(ord.nodes, frame)
-			for _, tpl := range a.Templates {
-				if seen[tpl.Name] {
+			sc.m.reset(ord.nodes, frame)
+			for _, c := range cands {
+				if seenName(c.tpl.Name) {
 					continue
 				}
-				if b, idxs, ok := m.match(tpl); ok {
-					record(makeDetection(tpl, ord.name, ord.nodes, b, idxs))
+				if b, idxs, ok := sc.m.match(c.ct); ok {
+					record(makeDetection(c.tpl, c.ct, ord.name, ord.nodes, b, idxs))
 				}
 			}
 		}
@@ -90,7 +181,7 @@ func (a *Analyzer) AnalyzeFrame(frame []byte) []Detection {
 	return out
 }
 
-func makeDetection(tpl *Template, order string, nodes []ir.Node, b *Binding, idxs []int) Detection {
+func makeDetection(tpl *Template, ct *compiledTemplate, order string, nodes []ir.Node, b *binding, idxs []int) Detection {
 	d := Detection{
 		Template:    tpl.Name,
 		Description: tpl.Description,
@@ -101,11 +192,13 @@ func makeDetection(tpl *Template, order string, nodes []ir.Node, b *Binding, idx
 	for _, i := range idxs {
 		d.Addrs = append(d.Addrs, nodes[i].Inst.Addr)
 	}
-	for v, r := range b.Regs {
-		d.Bindings[v] = r.String()
-	}
-	for v, k := range b.Keys {
-		d.Bindings[v] = fmt.Sprintf("%#x", k)
+	for id, name := range ct.varNames {
+		if b.bound&(1<<id) != 0 {
+			d.Bindings[name] = b.regs[id].String()
+		}
+		if b.keyed&(1<<id) != 0 {
+			d.Bindings[name] = fmt.Sprintf("%#x", b.keys[id])
+		}
 	}
 	return d
 }

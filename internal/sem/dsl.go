@@ -97,8 +97,27 @@ func ParseTemplates(r io.Reader) ([]*Template, error) {
 		if len(t.Stmts) == 0 {
 			return nil, fmt.Errorf("template %s has no statements", t.Name)
 		}
+		if n := countVars(t.Stmts); n > maxTemplateVars {
+			return nil, fmt.Errorf("template %s names %d variables (max %d)", t.Name, n, maxTemplateVars)
+		}
 	}
 	return out, nil
+}
+
+// countVars returns the number of distinct variables (register and
+// key) the statements name; the compiled matcher indexes bindings by a
+// fixed-size variable id.
+func countVars(stmts []Stmt) int {
+	seen := map[string]bool{}
+	for i := range stmts {
+		for _, v := range varRefs(&stmts[i]) {
+			seen[v] = true
+		}
+		if k := stmts[i].Key; k != "" {
+			seen[k] = true
+		}
+	}
+	return len(seen)
 }
 
 func parseStmt(fields []string) (Stmt, error) {

@@ -7,14 +7,19 @@ import (
 	"semnids/internal/x86"
 )
 
-// matcher holds the per-sequence matching context.
+// matcher holds the per-sequence matching context. A matcher is
+// reusable: reset rebinds it to a new node sequence, retaining the
+// grown index buffers, so the hot path builds its per-order tables
+// without allocating.
 type matcher struct {
 	nodes []ir.Node
 	frame []byte
 
 	// defCount[fam][i] = number of defs of register family fam in
 	// nodes[0:i]; lets the clobber check run in O(1) per candidate.
+	// The eight rows share one flat buffer.
 	defCount [8][]int32
+	defBuf   []int32
 
 	// flowCount[i] = number of flow-breaking nodes (undecodable bytes,
 	// ret, hlt) in nodes[0:i]. A matched behavior must be control-flow
@@ -22,8 +27,24 @@ type matcher struct {
 	// undecodable byte between one matched statement and the next.
 	flowCount []int32
 
-	// addrIndex maps instruction frame offsets to sequence position.
-	addrIndex map[int]int
+	// addrIndex maps instruction frame offsets to sequence position
+	// (-1 = no instruction at that offset). Indexed directly by
+	// offset, which the SBackEdge check hits once per candidate.
+	addrIndex []int32
+
+	// opsSeen is the set of opcodes present in nodes; compiled
+	// template prefilters reject impossible templates against it
+	// before any search starts.
+	opsSeen opMask
+
+	matched []int // scratch for the matched node indices
+
+	// binds is the binding stack: binds[d] is the candidate binding at
+	// search depth d. An explicit stack (rather than locals passed by
+	// pointer through the recursion) keeps candidate bindings out of
+	// the heap — escape analysis must otherwise assume a pointer
+	// passed into a recursive call escapes.
+	binds []binding
 
 	steps int // backtracking budget
 }
@@ -32,27 +53,87 @@ type matcher struct {
 // frames cannot consume unbounded CPU in the analyzer.
 const maxSearchSteps = 1 << 20
 
-func newMatcher(nodes []ir.Node, frame []byte) *matcher {
-	m := &matcher{nodes: nodes, frame: frame, addrIndex: make(map[int]int, len(nodes))}
+// reset rebinds the matcher to a node sequence, rebuilding the
+// def/flow prefix sums, the address index and the opcode presence set.
+func (m *matcher) reset(nodes []ir.Node, frame []byte) {
+	m.nodes, m.frame = nodes, frame
+	m.opsSeen = opMask{}
+
+	n := len(nodes)
+	if cap(m.defBuf) < 8*(n+1) {
+		m.defBuf = make([]int32, 8*(n+1))
+	} else {
+		m.defBuf = m.defBuf[:8*(n+1)]
+	}
 	for f := 0; f < 8; f++ {
-		m.defCount[f] = make([]int32, len(nodes)+1)
+		m.defCount[f] = m.defBuf[f*(n+1) : (f+1)*(n+1)]
+		m.defCount[f][0] = 0
 	}
-	m.flowCount = make([]int32, len(nodes)+1)
-	for i, n := range nodes {
-		m.addrIndex[n.Inst.Addr] = i
+	if cap(m.flowCount) < n+1 {
+		m.flowCount = make([]int32, n+1)
+	} else {
+		m.flowCount = m.flowCount[:n+1]
+	}
+	m.flowCount[0] = 0
+
+	maxAddr := 0
+	for i := range nodes {
+		if a := nodes[i].Inst.Addr; a > maxAddr {
+			maxAddr = a
+		}
+	}
+	if cap(m.addrIndex) < maxAddr+1 {
+		m.addrIndex = make([]int32, maxAddr+1)
+	} else {
+		m.addrIndex = m.addrIndex[:maxAddr+1]
+	}
+	for i := range m.addrIndex {
+		m.addrIndex[i] = -1
+	}
+
+	for i := range nodes {
+		nd := &nodes[i]
+		m.addrIndex[nd.Inst.Addr] = int32(i)
+		m.opsSeen.add(nd.Inst.Op)
+		defs := nd.Defs
 		for f := 0; f < 8; f++ {
-			m.defCount[f][i+1] = m.defCount[f][i]
-			if n.Defs&(1<<f) != 0 {
-				m.defCount[f][i+1]++
+			c := m.defCount[f][i]
+			if defs&(1<<f) != 0 {
+				c++
 			}
+			m.defCount[f][i+1] = c
 		}
-		m.flowCount[i+1] = m.flowCount[i]
-		switch n.Inst.Op {
+		fc := m.flowCount[i]
+		switch nd.Inst.Op {
 		case x86.BAD, x86.RET, x86.HLT:
-			m.flowCount[i+1]++
+			fc++
+		}
+		m.flowCount[i+1] = fc
+	}
+}
+
+// lookupAddr returns the sequence position of the instruction at frame
+// offset addr, if any.
+func (m *matcher) lookupAddr(addr int) (int, bool) {
+	if addr < 0 || addr >= len(m.addrIndex) {
+		return 0, false
+	}
+	if j := m.addrIndex[addr]; j >= 0 {
+		return int(j), true
+	}
+	return 0, false
+}
+
+// canMatch is the per-order prefilter: every mandatory restricted-
+// vocabulary statement needs at least one instruction with an
+// acceptable opcode somewhere in the sequence.
+func (m *matcher) canMatch(ct *compiledTemplate) bool {
+	for i := range ct.opNeeds {
+		if !ct.opNeeds[i].intersects(&m.opsSeen) {
+			return false
 		}
 	}
-	return m
+	return true
 }
 
 // flowBroken reports whether control flow is broken strictly between
@@ -78,108 +159,51 @@ func (m *matcher) defsInRange(set ir.RegSet, lo, hi int) bool {
 	return false
 }
 
-// expandStmts rewrites repetition (MinRep/MaxRep) into mandatory and
-// optional copies so that the search only deals with optionality.
-func expandStmts(stmts []Stmt) []Stmt {
-	var out []Stmt
-	for _, s := range stmts {
-		min, max := s.MinRep, s.MaxRep
-		if min == 0 && max == 0 {
-			out = append(out, s)
-			continue
-		}
-		if min < 1 {
-			min = 1
-		}
-		if max < min {
-			max = min
-		}
-		base := s
-		base.MinRep, base.MaxRep = 0, 0
-		for i := 0; i < min; i++ {
-			c := base
-			c.Optional = false
-			out = append(out, c)
-		}
-		for i := min; i < max; i++ {
-			c := base
-			c.Optional = true
-			out = append(out, c)
-		}
+// match searches nodes (one specific order) for the compiled template.
+// The returned binding and index slice are the matcher's scratch,
+// valid until the next match call.
+func (m *matcher) match(ct *compiledTemplate) (*binding, []int, bool) {
+	if !m.canMatch(ct) {
+		return nil, nil, false
 	}
-	return out
-}
-
-// liveness computes, for each variable, the expanded-statement index
-// range [first, last] over which its register binding must survive.
-type liveRange struct{ first, last int }
-
-func varRefs(s *Stmt) []string {
-	var v []string
-	if s.Ptr != "" {
-		v = append(v, s.Ptr)
-	}
-	if s.Reg != "" {
-		v = append(v, s.Reg)
-	}
-	return v
-}
-
-func liveRanges(stmts []Stmt) map[string]liveRange {
-	lr := make(map[string]liveRange)
-	for i := range stmts {
-		for _, v := range varRefs(&stmts[i]) {
-			if _, ok := lr[v]; !ok {
-				// A bound register must survive until the whole
-				// behavior completes: a decryption loop whose pointer
-				// is clobbered before the back edge would transform a
-				// different location on the next iteration, so the
-				// liveness of every variable extends to the last
-				// statement.
-				lr[v] = liveRange{i, len(stmts) - 1}
-			}
-		}
-	}
-	return lr
-}
-
-// Match searches nodes (one specific order) for the template.
-func (m *matcher) match(tpl *Template) (*Binding, []int, bool) {
-	stmts := expandStmts(tpl.Stmts)
-	lr := liveRanges(stmts)
 	m.steps = 0
-	b := newBinding()
-	matched := make([]int, 0, len(stmts))
-	if m.search(stmts, lr, 0, -1, b, &matched) {
-		return b, matched, true
+	if cap(m.binds) < len(ct.stmts)+1 {
+		m.binds = make([]binding, len(ct.stmts)+1)
+	} else {
+		m.binds = m.binds[:len(ct.stmts)+1]
+	}
+	m.binds[0] = binding{}
+	m.matched = m.matched[:0]
+	if m.search(ct, 0, -1, 0, &m.matched) {
+		return &m.binds[0], m.matched, true
 	}
 	return nil, nil, false
 }
 
-// search assigns statement s to a node after position prev.
-func (m *matcher) search(stmts []Stmt, lr map[string]liveRange,
-	s, prev int, b *Binding, matched *[]int) bool {
-	if s == len(stmts) {
+// search assigns statement s to a node after position prev. bi indexes
+// the binding stack entry holding the assignment built so far; on
+// success the completed binding has been copied back into binds[bi].
+func (m *matcher) search(ct *compiledTemplate, s, prev, bi int, matched *[]int) bool {
+	if s == len(ct.stmts) {
 		return true
 	}
-	st := &stmts[s]
+	st := &ct.stmts[s]
 
 	// Zero-width statements consume no node.
 	if st.Kind == SFrameData {
-		if m.frameHasData(st) || st.Optional {
-			return m.search(stmts, lr, s+1, prev, b, matched)
+		if m.frameHasData(&st.Stmt) || st.Optional {
+			return m.search(ct, s+1, prev, bi, matched)
 		}
 		return false
 	}
 
 	// live: registers bound to variables that must survive the gap
 	// into this statement.
+	b := &m.binds[bi]
 	var live ir.RegSet
-	for v, r := range lr {
-		if r.first < s && r.last >= s {
-			if reg, ok := b.Regs[v]; ok {
-				live.Add(reg)
-			}
+	for _, id := range ct.liveVars[s] {
+		if reg, ok := b.reg(id); ok {
+			live.Add(reg)
 		}
 	}
 
@@ -187,8 +211,8 @@ func (m *matcher) search(stmts []Stmt, lr map[string]liveRange,
 		if m.steps++; m.steps > maxSearchSteps {
 			return false
 		}
-		nb := b.clone()
-		if m.matchStmt(st, i, nb, *matched) {
+		m.binds[bi+1] = *b
+		if m.matchStmt(st, i, &m.binds[bi+1]) {
 			// Bound live registers must not be clobbered, and control
 			// flow must not break, between the previous match and
 			// this one.
@@ -196,8 +220,8 @@ func (m *matcher) search(stmts []Stmt, lr map[string]liveRange,
 				break
 			}
 			*matched = append(*matched, i)
-			if m.search(stmts, lr, s+1, i, nb, matched) {
-				*b = *nb
+			if m.search(ct, s+1, i, bi+1, matched) {
+				m.binds[bi] = m.binds[bi+1]
 				return true
 			}
 			*matched = (*matched)[:len(*matched)-1]
@@ -213,7 +237,7 @@ func (m *matcher) search(stmts []Stmt, lr map[string]liveRange,
 		}
 	}
 	if st.Optional {
-		return m.search(stmts, lr, s+1, prev, b, matched)
+		return m.search(ct, s+1, prev, bi, matched)
 	}
 	return false
 }
@@ -225,11 +249,11 @@ func (m *matcher) frameHasData(st *Stmt) bool {
 }
 
 // matchStmt tests a single statement against node i, extending the
-// binding nb on success. matched holds the node indices assigned to
-// earlier statements.
-func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
+// binding nb on success. The matcher's matched scratch holds the node
+// indices assigned to earlier statements.
+func (m *matcher) matchStmt(st *cstmt, i int, nb *binding) bool {
 	n := &m.nodes[i]
-	in := n.Inst
+	in := &n.Inst
 
 	opAllowed := func(op x86.Opcode) bool {
 		if len(st.Ops) == 0 {
@@ -265,7 +289,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 		if a0.Kind != x86.KindMem || !ptrMem(a0.Mem) {
 			return false
 		}
-		if !nb.bindReg(st.Ptr, a0.Mem.Base) {
+		if !nb.bindReg(st.ptrVar, a0.Mem.Base) {
 			return false
 		}
 		// Resolve the key.
@@ -275,9 +299,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 			if key == 0 {
 				return false // a zero key is not a transformation
 			}
-			if st.Key != "" {
-				nb.Keys[st.Key] = key
-			}
+			nb.setKey(st.keyVar, key)
 		case x86.KindReg:
 			// The key must resolve to a concrete constant, exactly as
 			// the symbolic constants of [5]'s templates must bind to a
@@ -294,9 +316,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 			if key == 0 {
 				return false
 			}
-			if st.Key != "" {
-				nb.Keys[st.Key] = key
-			}
+			nb.setKey(st.keyVar, key)
 		case x86.KindNone:
 			// Unary transforms (not/neg/inc/dec on memory).
 			if in.Op != x86.NOT && in.Op != x86.NEG && in.Op != x86.INC && in.Op != x86.DEC {
@@ -312,9 +332,9 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 			if a0.Kind != x86.KindReg || a1.Kind != x86.KindMem || !ptrMem(a1.Mem) {
 				return false
 			}
-			return nb.bindReg(st.Ptr, a1.Mem.Base) && nb.bindReg(st.Reg, a0.Reg)
+			return nb.bindReg(st.ptrVar, a1.Mem.Base) && nb.bindReg(st.regVar, a0.Reg)
 		case x86.LODSB, x86.LODSD:
-			return nb.bindReg(st.Ptr, x86.ESI) && nb.bindReg(st.Reg, x86.EAX)
+			return nb.bindReg(st.ptrVar, x86.ESI) && nb.bindReg(st.regVar, x86.EAX)
 		}
 		return false
 
@@ -325,9 +345,9 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 			if a0.Kind != x86.KindMem || !ptrMem(a0.Mem) || a1.Kind != x86.KindReg {
 				return false
 			}
-			return nb.bindReg(st.Ptr, a0.Mem.Base)
+			return nb.bindReg(st.ptrVar, a0.Mem.Base)
 		case x86.STOSB, x86.STOSD:
-			return nb.bindReg(st.Ptr, x86.EDI)
+			return nb.bindReg(st.ptrVar, x86.EDI)
 		}
 		return false
 
@@ -360,7 +380,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 		if delta < min || delta > max {
 			return false
 		}
-		return nb.bindReg(st.Ptr, fam)
+		return nb.bindReg(st.ptrVar, fam)
 
 	case SBackEdge:
 		if !in.Op.IsCondBranch() || !in.HasTarget {
@@ -372,7 +392,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 		// back-edge target can be later in address order but earlier
 		// in execution order), while rejecting phantom loops in
 		// misaligned decodes whose targets fall between instructions.
-		j, ok := m.addrIndex[in.Target]
+		j, ok := m.lookupAddr(in.Target)
 		if !ok || j >= i {
 			return false
 		}
@@ -380,7 +400,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 		// back edge re-enters at or before the first matched
 		// statement (loop setup code may sit between the entry point
 		// and the transform, so "at or before" is the right bound).
-		if len(matched) > 0 && j > matched[0] {
+		if matched := m.matched; len(matched) > 0 && j > matched[0] {
 			return false
 		}
 		// Executable loops contain no undecodable bytes and no
@@ -442,7 +462,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 			if v < st.Lo || v > st.Hi {
 				return false
 			}
-			return nb.bindReg(st.Reg, a0.Reg)
+			return nb.bindReg(st.regVar, a0.Reg)
 		}
 		// push imm in range (followed elsewhere by ret/pop)
 		if a0.Kind != x86.KindImm {
@@ -465,7 +485,7 @@ func (m *matcher) matchStmt(st *Stmt, i int, nb *Binding, matched []int) bool {
 		if through == x86.RegNone {
 			return false
 		}
-		if st.Reg != "" && !nb.bindReg(st.Reg, through) {
+		if !nb.bindReg(st.regVar, through) {
 			return false
 		}
 		if st.Lo != 0 || st.Hi != 0 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package sem
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-regression pins are skipped under -race because the race
+// runtime itself allocates.
+const raceEnabled = true

@@ -16,6 +16,7 @@ package sem
 
 import (
 	"fmt"
+	"sync"
 
 	"semnids/internal/x86"
 )
@@ -110,50 +111,65 @@ type Stmt struct {
 }
 
 // Template is a named behavior specification.
+//
+// A template is compiled (repetitions expanded, variables interned,
+// liveness and prefilters precomputed) once, on first match or via
+// Compile; Stmts must not be mutated after the template has been used.
 type Template struct {
 	Name        string
 	Description string
 	Stmts       []Stmt
 	// Severity is a coarse label carried into alerts.
 	Severity string
+
+	compileOnce sync.Once
+	ct          *compiledTemplate
 }
 
 func (t *Template) String() string {
 	return fmt.Sprintf("template %s (%d statements)", t.Name, len(t.Stmts))
 }
 
-// Binding is the variable assignment produced by a successful match.
-type Binding struct {
-	Regs map[string]x86.Reg // variable -> bound register family
-	Keys map[string]uint32  // key variable -> resolved constant
+// binding is the variable assignment built up during a search. It is
+// a fixed-size value type indexed by compiled variable id: extending a
+// candidate binding is a struct copy on the stack, where the previous
+// map-backed representation allocated two maps per candidate node —
+// the single largest cost in the old matcher profile.
+type binding struct {
+	regs  [maxTemplateVars]x86.Reg // variable id -> bound register family
+	keys  [maxTemplateVars]uint32  // variable id -> resolved key constant
+	bound uint16                   // bit i set: regs[i] is bound
+	keyed uint16                   // bit i set: keys[i] is resolved
 }
 
-func newBinding() *Binding {
-	return &Binding{Regs: make(map[string]x86.Reg), Keys: make(map[string]uint32)}
-}
-
-func (b *Binding) clone() *Binding {
-	nb := newBinding()
-	for k, v := range b.Regs {
-		nb.Regs[k] = v
-	}
-	for k, v := range b.Keys {
-		nb.Keys[k] = v
-	}
-	return nb
-}
-
-// bindReg unifies var name with register family r.
-func (b *Binding) bindReg(name string, r x86.Reg) bool {
-	if name == "" {
+// bindReg unifies variable id v with register family r.
+func (b *binding) bindReg(v int8, r x86.Reg) bool {
+	if v < 0 {
 		return true
 	}
 	fam := r.Family()
-	if cur, ok := b.Regs[name]; ok {
-		return cur == fam
+	if b.bound&(1<<v) != 0 {
+		return b.regs[v] == fam
 	}
-	b.Regs[name] = fam
+	b.regs[v] = fam
+	b.bound |= 1 << v
 	return true
+}
+
+// setKey records the resolved constant for key variable id v.
+func (b *binding) setKey(v int8, key uint32) {
+	if v >= 0 {
+		b.keys[v] = key
+		b.keyed |= 1 << v
+	}
+}
+
+// reg returns the register bound to variable id v, if any.
+func (b *binding) reg(v int8) (x86.Reg, bool) {
+	if v < 0 || b.bound&(1<<v) == 0 {
+		return x86.RegNone, false
+	}
+	return b.regs[v], true
 }
 
 // Detection reports one matched template within a frame.

@@ -13,6 +13,27 @@ var ErrTruncated = errors.New("x86: truncated instruction")
 // not recognize as an instruction.
 var ErrBadOpcode = errors.New("x86: unrecognized opcode")
 
+// Bad-opcode errors are precomputed: a linear sweep over junk-heavy
+// frames hits undecodable bytes constantly and immediately converts
+// the error into a BAD marker instruction, so allocating a fresh
+// wrapped error per byte would put fmt.Errorf on the hottest path in
+// the decoder.
+var (
+	badOpcodeErrs   [256]error // "unrecognized opcode: 0xNN"
+	badOpcode0FErrs [256]error // "unrecognized opcode: 0x0f 0xNN"
+	badOpcodeBAErrs [8]error   // "unrecognized opcode: 0x0f 0xba /N"
+)
+
+func init() {
+	for i := range badOpcodeErrs {
+		badOpcodeErrs[i] = fmt.Errorf("%w: 0x%02x", ErrBadOpcode, i)
+		badOpcode0FErrs[i] = fmt.Errorf("%w: 0x0f 0x%02x", ErrBadOpcode, i)
+	}
+	for i := range badOpcodeBAErrs {
+		badOpcodeBAErrs[i] = fmt.Errorf("%w: 0x0f 0xba /%d", ErrBadOpcode, i)
+	}
+}
+
 type decoder struct {
 	b    []byte
 	pos  int
@@ -741,7 +762,7 @@ func (d *decoder) opcode(op byte) (Inst, error) {
 		return Inst{}, ErrBadOpcode
 	}
 
-	return Inst{}, fmt.Errorf("%w: 0x%02x", ErrBadOpcode, op)
+	return Inst{}, badOpcodeErrs[op]
 }
 
 func (d *decoder) twoByte() (Inst, error) {
@@ -818,7 +839,7 @@ func (d *decoder) twoByte() (Inst, error) {
 			return Inst{}, err
 		}
 		if reg < 4 {
-			return Inst{}, fmt.Errorf("%w: 0x0f 0xba /%d", ErrBadOpcode, reg)
+			return Inst{}, badOpcodeBAErrs[reg]
 		}
 		v, err := d.immBySize(1)
 		if err != nil {
@@ -877,5 +898,5 @@ func (d *decoder) twoByte() (Inst, error) {
 		}
 		return inst2(XADD, rm, RegOp(regBySize(reg, sz))), nil
 	}
-	return Inst{}, fmt.Errorf("%w: 0x0f 0x%02x", ErrBadOpcode, op)
+	return Inst{}, badOpcode0FErrs[op]
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package x86_test
+
+const raceEnabled = false

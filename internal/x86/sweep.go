@@ -1,10 +1,15 @@
 package x86
 
+import "sync"
+
 // Sweep linearly disassembles b starting at offset start. Undecodable
 // bytes are represented as single-byte BAD instructions (with the raw
 // byte in Args[0].Imm) so that the sweep always terminates and junk
 // data interleaved with code does not abort analysis — the behaviour a
 // disassembler needs when pointed at extracted network payload bytes.
+//
+// Callers sweeping one frame at several offsets should use a
+// DecodeCache instead, which decodes each byte position at most once.
 func Sweep(b []byte, start int) []Inst {
 	var out []Inst
 	for pos := start; pos < len(b); {
@@ -44,6 +49,15 @@ func CodeRatio(b []byte) float64 {
 	return float64(good) / float64(len(b))
 }
 
+// threadScratch holds the per-call tables ThreadOrder needs; pooled so
+// the hot path does not reallocate them for every frame and offset.
+type threadScratch struct {
+	byAddr []int32 // instruction address -> index into insts; -1 = none
+	seen   []bool
+}
+
+var threadPool = sync.Pool{New: func() any { return new(threadScratch) }}
+
 // ThreadOrder recovers the execution order of instructions that have
 // been shuffled with unconditional jmp chains (the "out-of-order code"
 // obfuscation of Figure 1(c) in the paper). Starting from the first
@@ -56,41 +70,72 @@ func CodeRatio(b []byte) float64 {
 // Each instruction is visited at most once; cycles (the loop back-edge)
 // terminate the walk.
 func ThreadOrder(insts []Inst) []Inst {
+	return ThreadOrderAppend(nil, insts)
+}
+
+// ThreadOrderAppend appends the threaded execution order of insts to
+// dst and returns the extended slice. It is ThreadOrder with
+// caller-managed result storage, for hot paths that reuse buffers.
+func ThreadOrderAppend(dst []Inst, insts []Inst) []Inst {
 	if len(insts) == 0 {
-		return nil
+		return dst
 	}
-	byAddr := make(map[int]int, len(insts))
-	for i, in := range insts {
-		byAddr[in.Addr] = i
+	// Addresses are frame offsets; the largest is held by the last
+	// instruction of a sweep, but insts may be any order, so scan.
+	maxAddr := 0
+	for i := range insts {
+		if a := insts[i].Addr; a > maxAddr {
+			maxAddr = a
+		}
 	}
-	seen := make([]bool, len(insts))
-	var out []Inst
+	ts := threadPool.Get().(*threadScratch)
+	ts.byAddr = resetIndex(ts.byAddr, maxAddr+1)
+	if cap(ts.seen) < len(insts) {
+		ts.seen = make([]bool, len(insts))
+	} else {
+		ts.seen = ts.seen[:len(insts)]
+		clear(ts.seen)
+	}
+	for i := range insts {
+		ts.byAddr[insts[i].Addr] = int32(i)
+	}
+	lookup := func(addr int) (int, bool) {
+		if addr < 0 || addr > maxAddr {
+			return 0, false
+		}
+		if j := ts.byAddr[addr]; j >= 0 {
+			return int(j), true
+		}
+		return 0, false
+	}
+
 	i := 0
-	for i >= 0 && i < len(insts) && !seen[i] {
-		seen[i] = true
+	for i >= 0 && i < len(insts) && !ts.seen[i] {
+		ts.seen[i] = true
 		in := insts[i]
 		if in.Op == JMP && in.HasTarget {
 			// Thread through the jump without emitting it.
-			j, ok := byAddr[in.Target]
+			j, ok := lookup(in.Target)
 			if !ok {
 				break
 			}
 			i = j
 			continue
 		}
-		out = append(out, in)
+		dst = append(dst, in)
 		if in.Op == RET || in.Op == HLT {
 			break
 		}
 		if in.Op == CALL && in.HasTarget {
 			// Follow in-frame calls: getpc idioms (jmp/call/pop) put
 			// the decoder body at the call target.
-			if j, ok := byAddr[in.Target]; ok {
+			if j, ok := lookup(in.Target); ok {
 				i = j
 				continue
 			}
 		}
 		i++
 	}
-	return out
+	threadPool.Put(ts)
+	return dst
 }

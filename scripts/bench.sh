@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the headline benchmarks and emit BENCH_<date>.json so
+# the performance trajectory is trackable PR-over-PR.
+#
+# Usage: scripts/bench.sh [bench-regex] [count]
+#   bench-regex  benchmarks to run (default: the paper-table and
+#                hot-path suite)
+#   count        -count passed to go test (default 5)
+#
+# The JSON is a list of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} records, one per benchmark result line, suitable for
+# jq or a dashboard. The raw `go test` output is preserved next to it
+# as BENCH_<date>.txt for benchstat.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REGEX="${1:-Table1|Table2|FalsePositiveScan|AnalyzeFrame|DecodeCached}"
+COUNT="${2:-5}"
+DATE="$(date -u +%Y%m%d)"
+TXT="BENCH_${DATE}.txt"
+JSON="BENCH_${DATE}.json"
+
+go test -run '^$' -bench "$REGEX" -benchmem -count="$COUNT" | tee "$TXT"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+END { if (n) printf "\n"; print "]" }
+' "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON" >&2

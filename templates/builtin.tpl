@@ -1,0 +1,33 @@
+template xor-decrypt-loop severity=high
+  desc polymorphic decryption loop (xor/add/sub over memory with pointer advance and back edge)
+  memxform [A] ops=xor,add,sub key=B size=1
+  advance A delta=1..4
+  backedge
+
+template admmutate-alt-decode-loop severity=high
+  desc alternate ADMmutate decoder: mov/or/and/not sequence over a memory location and register pair
+  memload [A] reg=R size=1
+  regxform ops=mov,or,and,not rep=2..12
+  memstore [A] size=1
+  advance A delta=1..4
+  backedge
+
+template linux-shell-spawn severity=critical
+  desc Linux shell spawning: /bin/sh pushed as immediates, then execve (int 0x80, eax=0xb)
+  const 0x6e69622f,0x68732f2f,0x68732f6e
+  syscall 0xb
+
+template linux-shell-spawn severity=critical
+  desc Linux shell spawning: literal /bin/sh string in frame, then execve (int 0x80, eax=0xb)
+  framedata "/bin/sh"
+  syscall 0xb
+
+template port-bind-shell severity=critical
+  desc shell bound to a separate port: socketcall bind before execve
+  syscall 0x66 ebx=2
+  syscall 0xb
+
+template code-red-ii severity=critical
+  desc Code Red II exploitation vector: indirect transfer through an msvcrt.dll address
+  constrange R 0x78000000..0x78200000
+  indirect R
