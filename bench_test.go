@@ -6,12 +6,14 @@
 package nids
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 
 	"semnids/internal/classify"
 	"semnids/internal/core"
 	"semnids/internal/emu"
+	"semnids/internal/engine"
 	"semnids/internal/exploits"
 	"semnids/internal/extract"
 	"semnids/internal/ir"
@@ -246,6 +248,80 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineThroughput measures streaming-engine packet
+// throughput as shard count grows, over a mixed trace with
+// classification disabled so every payload reaches a shard (the
+// CPU-bound worst case). Sharded ingestion should scale packets/sec
+// with cores; on a single-CPU host the shards serialize and the curve
+// is flat. The verdict cache is disabled to measure raw analysis
+// scaling rather than memoization.
+func BenchmarkEngineThroughput(b *testing.B) {
+	spec := traffic.TraceSpec{Seed: 9, BenignSessions: 120, CodeRedInstances: 2}
+	pkts := traffic.Synthesize(spec)
+	var total int64
+	for _, p := range pkts {
+		total += int64(len(p.Payload))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.SetBytes(total)
+			for i := 0; i < b.N; i++ {
+				e := engine.New(engine.Config{
+					Classify:         classify.Config{Disabled: true},
+					Shards:           shards,
+					VerdictCacheSize: -1,
+				})
+				for _, p := range pkts {
+					e.Process(p)
+				}
+				e.Stop()
+				crii := false
+				for _, a := range e.Alerts() {
+					if a.Detection.Template == "code-red-ii" {
+						crii = true
+					}
+				}
+				if !crii {
+					b.Fatal("engine missed the trace's code-red-ii instances")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineVerdictCache is the ablation for the payload-
+// fingerprint verdict cache: the same worm payload delivered from
+// many sources, analyzed once when the cache is on and every time
+// when it is off — the worm-outbreak shape the cache exists for.
+func BenchmarkEngineVerdictCache(b *testing.B) {
+	payload := exploits.Table1Exploits()[0].Payload
+	const sources = 64
+	run := func(b *testing.B, cacheSize int) {
+		b.SetBytes(int64(len(payload)) * sources)
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.Config{
+				Classify:         classify.Config{Disabled: true},
+				Shards:           1,
+				VerdictCacheSize: cacheSize,
+			})
+			for s := 0; s < sources; s++ {
+				e.Process(&netpkt.Packet{
+					SrcIP: netip.AddrFrom4([4]byte{10, 2, byte(s >> 8), byte(s)}),
+					DstIP: traffic.WebServer, SrcPort: uint16(1024 + s), DstPort: 80,
+					Proto: netpkt.ProtoUDP, HasUDP: true,
+					Payload: payload, TimestampUS: uint64(s) * 100,
+				})
+			}
+			e.Stop()
+			if got := len(e.Alerts()); got < sources {
+				b.Fatalf("alerts = %d, want >= %d", got, sources)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, 0) })
+	b.Run("uncached", func(b *testing.B) { run(b, -1) })
 }
 
 // BenchmarkSigmatchBaseline measures the syntactic baseline for

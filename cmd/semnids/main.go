@@ -5,9 +5,14 @@
 //
 //	semnids -pcap trace.pcap [-honeypot 192.168.1.250] [-dark 192.168.2.0/24]
 //	        [-all] [-fullscan] [-workers N]
+//	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
 //
 // With -all the classifier is disabled and every payload is analyzed
-// (the paper's Section 5.4 configuration).
+// (the paper's Section 5.4 configuration). With -stream the trace is
+// fed through the sharded streaming engine instead of the batch
+// pipeline; -replay paces packets by their capture timestamps (-speed
+// scales the pace, 1 = real time), exercising flow eviction and the
+// verdict cache as live traffic would.
 package main
 
 import (
@@ -34,6 +39,11 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit alerts as JSONL instead of text")
 		summary   = flag.Bool("summary", false, "print a per-source incident summary at exit")
 		tplFile   = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
+		stream    = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
+		shards    = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
+		shed      = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
+		replay    = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
+		speed     = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
 	)
 	flag.Parse()
 	if *scanPath != "" {
@@ -69,6 +79,11 @@ func main() {
 		cfg.TemplatesDSL = string(text)
 	}
 
+	if *stream {
+		runEngine(cfg, *pcapPath, *shards, *shed, *replay, *speed, *jsonOut, *summary)
+		return
+	}
+
 	n, err := nids.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
@@ -100,6 +115,56 @@ func main() {
 	m := n.Stats()
 	fmt.Printf("\npackets=%d selected=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
 		m.Packets, m.Selected, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
+}
+
+// runEngine feeds the trace through the streaming engine, optionally
+// paced by capture timestamps, and prints engine-level statistics
+// (verdict cache, evictions, shed packets) alongside the pipeline
+// counters.
+func runEngine(cfg nids.Config, pcapPath string, shards int, shed, replay bool, speed float64, jsonOut, summary bool) {
+	e, err := nids.NewEngine(nids.EngineConfig{
+		Config:         cfg,
+		Shards:         shards,
+		ShedOnOverload: shed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	defer e.Stop()
+	f, err := os.Open(pcapPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if replay {
+		err = e.Replay(f, speed)
+	} else {
+		err = e.Run(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semnids:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		if err := report.WriteJSON(os.Stdout, e.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+	}
+	if summary {
+		fmt.Println()
+		if err := report.WriteSummary(os.Stdout, e.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+	}
+	m := e.Stats()
+	fmt.Printf("\npackets=%d selected=%d dropped=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
+		m.Packets, m.Selected, m.Dropped, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
+	fmt.Printf("cache-hits=%d cache-misses=%d evicted-idle=%d evicted-lru=%d\n",
+		m.CacheHits, m.CacheMisses, m.FlowsEvictedIdle, m.FlowsEvictedLRU)
 }
 
 // hostScan analyzes an on-disk binary with the semantic stages only —

@@ -117,7 +117,10 @@ type NIDS struct {
 	metrics struct {
 		packets, selected, streams, frames, frameBytes, codeFrames, alerts atomic.Uint64
 	}
-	closed bool
+	// flushOnce makes Flush idempotent and safe to call concurrently
+	// (with itself and with alert reads); the unsynchronized closed
+	// bool it replaces was a data race.
+	flushOnce sync.Once
 }
 
 // Cached compiled builtin template set: building and compiling the
@@ -190,6 +193,20 @@ func New(cfg Config) *NIDS {
 		lastAnalyzed: make(map[netpkt.FlowKey]int),
 		flowMeta:     make(map[netpkt.FlowKey]flowInfo),
 	}
+	// When the assembler gives up on a flow (capacity overflow), the
+	// unanalyzed tail is still analyzed and — the part that used to
+	// leak — the per-flow side tables are released. Without this,
+	// never-finished flows left lastAnalyzed/flowMeta entries behind
+	// forever once their reassembly state was evicted.
+	n.assembler.SetEvictHandler(func(s *reasm.Stream) {
+		if len(s.Data) > n.lastAnalyzed[s.Key] {
+			info := n.flowMeta[s.Key]
+			n.metrics.streams.Add(1)
+			n.submitPayload(s.Data, s.Key, info.reason, info.ts)
+		}
+		delete(n.lastAnalyzed, s.Key)
+		delete(n.flowMeta, s.Key)
+	})
 	if cfg.SweepOffsets != nil {
 		n.analyzer.SweepOffsets = cfg.SweepOffsets
 	} else if cfg.FullScan {
@@ -297,19 +314,7 @@ func (n *NIDS) ProcessPacket(p *netpkt.Packet) {
 	if stream == nil {
 		return
 	}
-	last := n.lastAnalyzed[flow]
-	analyze := false
-	switch {
-	case stream.Finished && len(stream.Data) > last:
-		analyze = true
-	case last == 0 && len(stream.Data) >= n.cfg.MinAnalyzeBytes:
-		analyze = true
-	case last > 0 && len(stream.Data) >= 2*last:
-		// Re-analyze when the stream doubles: exploit content split
-		// across many segments is still caught before close.
-		analyze = true
-	}
-	if analyze {
+	if ShouldAnalyze(stream.Finished, len(stream.Data), n.lastAnalyzed[flow], n.cfg.MinAnalyzeBytes) {
 		n.lastAnalyzed[flow] = len(stream.Data)
 		n.metrics.streams.Add(1)
 		n.submitPayload(stream.Data, flow, reason, p.TimestampUS)
@@ -321,9 +326,28 @@ func (n *NIDS) ProcessPacket(p *netpkt.Packet) {
 	}
 }
 
-// ProcessPcap feeds an entire pcap stream, then flushes.
+// ShouldAnalyze is the stream (re)analysis gate, shared by the batch
+// pipeline and the streaming engine so the two can never drift:
+// analyze when a finished stream holds unanalyzed data, when an
+// unanalyzed stream first reaches minBytes, or when the stream has
+// doubled since its last analysis — so exploit content split across
+// many segments is still caught before close.
+func ShouldAnalyze(finished bool, size, lastAnalyzed, minBytes int) bool {
+	switch {
+	case finished && size > lastAnalyzed:
+		return true
+	case lastAnalyzed == 0 && size >= minBytes:
+		return true
+	case lastAnalyzed > 0 && size >= 2*lastAnalyzed:
+		return true
+	}
+	return false
+}
+
+// ProcessPcap feeds an entire capture stream (classic pcap with
+// microsecond or nanosecond magic, or pcapng), then flushes.
 func (n *NIDS) ProcessPcap(r io.Reader) error {
-	pr, err := netpkt.NewPcapReader(r)
+	pr, err := netpkt.NewTraceReader(r)
 	if err != nil {
 		return err
 	}
@@ -342,12 +366,12 @@ func (n *NIDS) ProcessPcap(r io.Reader) error {
 }
 
 // Flush analyzes any unfinished streams and waits for the worker pool
-// to drain. The NIDS cannot be used after Flush.
-func (n *NIDS) Flush() {
-	if n.closed {
-		return
-	}
-	n.closed = true
+// to drain. The NIDS cannot be fed after Flush; Flush itself is
+// idempotent and safe to call from multiple goroutines (late callers
+// block until the first flush completes).
+func (n *NIDS) Flush() { n.flushOnce.Do(n.flush) }
+
+func (n *NIDS) flush() {
 	for _, s := range n.assembler.Drain() {
 		if len(s.Data) > n.lastAnalyzed[s.Key] {
 			info := n.flowMeta[s.Key]

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"semnids/internal/sem"
+)
+
+// fingerprint is a 128-bit payload identity: two independent FNV-1a
+// style hashes plus the length folded in. Worm outbreaks deliver the
+// same frame bytes millions of times; 128 bits makes an accidental
+// collision (a wrong cached verdict) vanishingly unlikely without
+// storing the frame itself.
+type fingerprint struct {
+	a, b uint64
+	n    int
+}
+
+func fingerprintOf(data []byte) fingerprint {
+	const prime = 1099511628211
+	h1 := uint64(14695981039346656037) // FNV-1a offset basis
+	h2 := uint64(14695981039346656037 ^ 0x9e3779b97f4a7c15)
+	for _, c := range data {
+		h1 = (h1 ^ uint64(c)) * prime
+		h2 = (h2 ^ uint64(c)) * (prime + 2)
+	}
+	return fingerprint{a: h1, b: h2, n: len(data)}
+}
+
+// verdictCache memoizes semantic-analysis verdicts by payload
+// fingerprint, bounded by an LRU policy. A cached verdict may be an
+// empty detection list — knowing a frame is benign is as valuable as
+// knowing it is hostile, since benign frames dominate live traffic.
+type verdictCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[fingerprint]*list.Element
+}
+
+type cacheEntry struct {
+	key fingerprint
+	ds  []sem.Detection
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[fingerprint]*list.Element, capacity),
+	}
+}
+
+// get returns the cached detections for a fingerprint. The second
+// result distinguishes "cached as benign" (nil, true) from "unknown".
+func (c *verdictCache) get(key fingerprint) ([]sem.Detection, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ds, true
+}
+
+// put records the verdict for a fingerprint, evicting the least
+// recently used entry when full.
+func (c *verdictCache) put(key fingerprint, ds []sem.Detection) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).ds = ds
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ds: ds})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,330 @@
+// Package engine is the continuously-running streaming layer over the
+// paper's five-stage pipeline. Where internal/core is a one-shot batch
+// detector (single feeder, analyze-at-Flush, dies after Flush), the
+// engine is built to run forever under load:
+//
+//   - Ingestion is sharded: packets are dispatched by FlowKey hash to
+//     N shards, each owning its flow table, reassembler slice and
+//     analysis bookkeeping, so shards run lock-free and scale across
+//     cores. The cheap classification stage runs on the ingest
+//     goroutine; only selected packets cross a shard queue.
+//   - Flow lifecycles are managed: a periodic tick (driven by trace
+//     time) analyzes-then-evicts idle streams and enforces a byte
+//     budget per shard with LRU eviction, so abandoned and long-lived
+//     flows cannot grow state without bound.
+//   - Verdicts are cached by payload fingerprint: a worm outbreak
+//     delivering millions of identical payloads hits the semantic
+//     analyzer once.
+//   - Shard queues are bounded with an explicit overload policy:
+//     block (backpressure) or shed (drop + count), never silent
+//     unbounded buffering.
+//   - Drain flushes all in-progress flows and leaves the engine live
+//     for the next trace; Stop terminates it. Both are idempotent and
+//     safe alongside concurrent Alerts/Snapshot reads.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/netpkt"
+	"semnids/internal/sem"
+)
+
+// OverloadPolicy selects what Process does when a shard queue is full.
+type OverloadPolicy uint8
+
+const (
+	// PolicyBlock applies backpressure: Process blocks until the
+	// owning shard has queue room. No packet is lost; ingestion slows
+	// to the analysis rate.
+	PolicyBlock OverloadPolicy = iota
+	// PolicyShed drops the packet and counts it in Metrics.Dropped.
+	// Ingestion never blocks; a saturated sensor degrades by sampling
+	// instead of stalling the capture loop.
+	PolicyShed
+)
+
+// Config parameterizes the streaming engine.
+type Config struct {
+	// Classify configures the traffic classification stage (shared by
+	// all shards; it runs on the ingest goroutine).
+	Classify classify.Config
+
+	// Templates is the semantic template set (default: the built-in
+	// set).
+	Templates []*sem.Template
+
+	// Shards is the number of ingest shards (default: GOMAXPROCS).
+	Shards int
+
+	// QueueDepth bounds each shard's packet queue (default 1024).
+	QueueDepth int
+
+	// Overload selects the full-queue policy (default PolicyBlock).
+	Overload OverloadPolicy
+
+	// FlowIdleTimeoutUS evicts flows idle for this many trace
+	// microseconds; their unanalyzed tail is still analyzed (default
+	// 60s).
+	FlowIdleTimeoutUS uint64
+
+	// TickIntervalUS is how often, in trace time, each shard runs its
+	// eviction tick (default 1s). Ticks advance with selected
+	// traffic; Drain covers quiet periods.
+	TickIntervalUS uint64
+
+	// ShardByteBudget caps reassembly buffering per shard;
+	// least-recently-active flows are evicted (and tail-analyzed)
+	// beyond it (default 64 MiB).
+	ShardByteBudget int
+
+	// VerdictCacheSize is the payload-fingerprint cache capacity in
+	// entries: 0 selects the default (8192), negative disables the
+	// cache.
+	VerdictCacheSize int
+
+	// MinAnalyzeBytes is the stream size that triggers a first
+	// analysis before the connection closes (default 256).
+	MinAnalyzeBytes int
+
+	// FullScan disables classification pruning and binary extraction
+	// (the exhaustive baseline).
+	FullScan bool
+
+	// SweepOffsets overrides the analyzer's disassembly offsets.
+	SweepOffsets []int
+
+	// OnAlert, when non-nil, is invoked synchronously for each alert
+	// (from shard goroutines).
+	OnAlert func(core.Alert)
+}
+
+// Metrics is a snapshot of engine counters and gauges.
+type Metrics struct {
+	// Packets offered to the engine; Selected passed classification;
+	// Dropped were shed under overload (PolicyShed only).
+	Packets, Selected, Dropped uint64
+
+	// StreamsAnalyzed, Frames, FrameBytes and Alerts mirror the batch
+	// pipeline's counters.
+	StreamsAnalyzed, Frames, FrameBytes, Alerts uint64
+
+	// CacheHits and CacheMisses count verdict-cache lookups; a hit
+	// skips disassembly, lifting and matching entirely.
+	CacheHits, CacheMisses uint64
+
+	// FlowsEvictedIdle and FlowsEvictedLRU count tick evictions (the
+	// evicted flows' unanalyzed tails were analyzed first).
+	FlowsEvictedIdle, FlowsEvictedLRU uint64
+
+	// FlowsActive and BufferedBytes are gauges summed over shards;
+	// CacheEntries is the verdict cache's current size.
+	FlowsActive   int
+	BufferedBytes int
+	CacheEntries  int
+}
+
+// Engine is a running streaming detector. Feed packets with Process
+// (or the public wrappers) from one goroutine; analysis runs on the
+// shard goroutines.
+type Engine struct {
+	cfg        Config
+	classifier *classify.Classifier
+	analyzer   *sem.Analyzer
+	cache      *verdictCache
+	shards     []*shard
+
+	mu     sync.Mutex
+	alerts []core.Alert
+
+	stopOnce sync.Once
+	stopped  atomic.Bool
+
+	m struct {
+		packets, selected, dropped          atomic.Uint64
+		streams, frames, frameBytes, alerts atomic.Uint64
+		cacheHits, cacheMisses              atomic.Uint64
+		evictedIdle, evictedLRU             atomic.Uint64
+	}
+}
+
+// New builds and starts an engine: its shard goroutines run until
+// Stop.
+func New(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.FlowIdleTimeoutUS == 0 {
+		cfg.FlowIdleTimeoutUS = 60e6
+	}
+	if cfg.TickIntervalUS == 0 {
+		cfg.TickIntervalUS = 1e6
+	}
+	if cfg.ShardByteBudget <= 0 {
+		cfg.ShardByteBudget = 64 << 20
+	}
+	if cfg.MinAnalyzeBytes <= 0 {
+		cfg.MinAnalyzeBytes = 256
+	}
+	if cfg.FullScan {
+		cfg.Classify.Disabled = true
+	}
+	if cfg.Templates == nil {
+		cfg.Templates = sem.BuiltinTemplates()
+	}
+	e := &Engine{
+		cfg:        cfg,
+		classifier: classify.New(cfg.Classify),
+		analyzer:   sem.NewAnalyzer(cfg.Templates),
+	}
+	if cfg.SweepOffsets != nil {
+		e.analyzer.SweepOffsets = cfg.SweepOffsets
+	} else if cfg.FullScan {
+		e.analyzer.SweepOffsets = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	}
+	if cfg.VerdictCacheSize >= 0 {
+		size := cfg.VerdictCacheSize
+		if size == 0 {
+			size = 8192
+		}
+		e.cache = newVerdictCache(size)
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
+		go e.shards[i].run()
+	}
+	return e
+}
+
+// Classifier exposes the shared classification stage (e.g. to
+// pre-register suspicious sources).
+func (e *Engine) Classifier() *classify.Classifier { return e.classifier }
+
+// shardIndex maps a flow to its owning shard with an FNV-1a hash over
+// the directional flow key, so every packet of a flow is handled by
+// one goroutine in arrival order.
+func shardIndex(k netpkt.FlowKey, n int) int {
+	if n == 1 {
+		return 0
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h = (h ^ uint64(b)) * prime
+	}
+	src, dst := k.SrcIP.As16(), k.DstIP.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(k.Proto)
+	return int(h % uint64(n))
+}
+
+// Process offers one parsed packet to the engine, which takes
+// ownership of it. Call from a single goroutine (the capture or
+// replay loop); packets offered after Stop are ignored.
+func (e *Engine) Process(p *netpkt.Packet) {
+	if e.stopped.Load() {
+		return
+	}
+	e.m.packets.Add(1)
+	ok, reason := e.classifier.Classify(p)
+	if !ok {
+		return
+	}
+	e.m.selected.Add(1)
+	s := e.shards[shardIndex(p.Flow(), len(e.shards))]
+	msg := shardMsg{pkt: p, reason: reason}
+	if e.cfg.Overload == PolicyShed {
+		select {
+		case s.in <- msg:
+		default:
+			e.m.dropped.Add(1)
+		}
+		return
+	}
+	s.in <- msg
+}
+
+// Drain waits for every queued packet to be analyzed, then analyzes
+// the unfinished tail of every in-progress flow and resets per-flow
+// state. Unlike the batch pipeline's Flush, the engine stays live:
+// the next trace (or the next packet of live capture) can follow
+// immediately. No-op after Stop.
+func (e *Engine) Drain() {
+	if e.stopped.Load() {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	c := &ctl{wg: &wg}
+	for _, s := range e.shards {
+		s.in <- shardMsg{ctl: c}
+	}
+	wg.Wait()
+}
+
+// Stop drains in-flight work, analyzes remaining flow tails, and
+// terminates the shard goroutines. Idempotent and safe to call
+// concurrently with alert and metric reads.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		e.stopped.Store(true)
+		for _, s := range e.shards {
+			close(s.in)
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+	})
+}
+
+// Alerts returns all alerts recorded so far (arrival order; complete
+// for a trace after Drain or Stop).
+func (e *Engine) Alerts() []core.Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]core.Alert, len(e.alerts))
+	copy(out, e.alerts)
+	return out
+}
+
+// Snapshot returns current counters and gauges.
+func (e *Engine) Snapshot() Metrics {
+	m := Metrics{
+		Packets:          e.m.packets.Load(),
+		Selected:         e.m.selected.Load(),
+		Dropped:          e.m.dropped.Load(),
+		StreamsAnalyzed:  e.m.streams.Load(),
+		Frames:           e.m.frames.Load(),
+		FrameBytes:       e.m.frameBytes.Load(),
+		Alerts:           e.m.alerts.Load(),
+		CacheHits:        e.m.cacheHits.Load(),
+		CacheMisses:      e.m.cacheMisses.Load(),
+		FlowsEvictedIdle: e.m.evictedIdle.Load(),
+		FlowsEvictedLRU:  e.m.evictedLRU.Load(),
+	}
+	for _, s := range e.shards {
+		m.FlowsActive += int(s.flows.Load())
+		m.BufferedBytes += int(s.bytes.Load())
+	}
+	if e.cache != nil {
+		m.CacheEntries = e.cache.len()
+	}
+	return m
+}

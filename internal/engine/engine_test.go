@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"testing"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/exploits"
+	"semnids/internal/netpkt"
+	"semnids/internal/traffic"
+)
+
+func testClassify() classify.Config {
+	return classify.Config{
+		Honeypots:     []netip.Addr{traffic.HoneypotAddr},
+		DarkSpace:     []netip.Prefix{traffic.DarkNet},
+		ScanThreshold: 3,
+	}
+}
+
+// alertSet normalizes alerts to a sorted set of flow+template keys so
+// runs with different shard counts (hence different arrival orders)
+// can be compared.
+func alertSet(alerts []core.Alert) []string {
+	keys := make([]string, 0, len(alerts))
+	for _, a := range alerts {
+		keys = append(keys, fmt.Sprintf("%s:%d->%s:%d %s", a.Src, a.SrcPort, a.Dst, a.DstPort, a.Detection.Template))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardDeterminism checks the tentpole invariant: the engine
+// produces the same alert set regardless of shard count, and that set
+// matches the batch pipeline's.
+func TestShardDeterminism(t *testing.T) {
+	pkts := traffic.Synthesize(traffic.TraceSpec{Seed: 11, BenignSessions: 60, CodeRedInstances: 3})
+
+	n := core.New(core.Config{Classify: testClassify()})
+	for _, p := range pkts {
+		n.ProcessPacket(p)
+	}
+	n.Flush()
+	want := alertSet(n.Alerts())
+	if len(want) == 0 {
+		t.Fatal("batch pipeline produced no alerts; trace spec is wrong")
+	}
+
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		e := New(Config{Classify: testClassify(), Shards: shards})
+		for _, p := range pkts {
+			e.Process(p)
+		}
+		e.Stop()
+		got := alertSet(e.Alerts())
+		if !equalSets(got, want) {
+			t.Errorf("shards=%d: alert set diverged\n got: %v\nwant: %v", shards, got, want)
+		}
+	}
+}
+
+// udpTo builds a UDP packet carrying payload to the honeypot.
+func udpTo(src netip.Addr, sport uint16, payload []byte, tsUS uint64) *netpkt.Packet {
+	return &netpkt.Packet{
+		SrcIP: src, DstIP: traffic.HoneypotAddr,
+		SrcPort: sport, DstPort: 4444,
+		Proto: netpkt.ProtoUDP, HasUDP: true,
+		Payload: payload, TimestampUS: tsUS,
+	}
+}
+
+// TestVerdictCacheAccounting feeds the same exploit payload from many
+// sources: the first delivery misses the cache, every identical
+// delivery after it hits, and per-flow alerting is unaffected.
+func TestVerdictCacheAccounting(t *testing.T) {
+	payload := exploits.Table1Exploits()[0].Payload
+	const deliveries = 25
+
+	e := New(Config{Classify: testClassify(), Shards: 1})
+	for i := 0; i < deliveries; i++ {
+		src := netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+		e.Process(udpTo(src, uint16(2000+i), payload, uint64(i)*1000))
+	}
+	e.Stop()
+
+	m := e.Snapshot()
+	if m.Frames == 0 || m.Frames%deliveries != 0 {
+		t.Fatalf("frames=%d, want a nonzero multiple of %d", m.Frames, deliveries)
+	}
+	perPayload := m.Frames / deliveries
+	if m.CacheMisses != perPayload {
+		t.Errorf("cache misses = %d, want %d (one per distinct frame)", m.CacheMisses, perPayload)
+	}
+	if m.CacheHits != m.Frames-perPayload {
+		t.Errorf("cache hits = %d, want %d", m.CacheHits, m.Frames-perPayload)
+	}
+	if m.CacheEntries == 0 {
+		t.Error("cache is empty after deliveries")
+	}
+
+	// Every source must still alert: caching verdicts must not
+	// collapse per-flow attribution.
+	srcs := map[netip.Addr]bool{}
+	for _, a := range e.Alerts() {
+		srcs[a.Src] = true
+	}
+	if len(srcs) != deliveries {
+		t.Errorf("alerting sources = %d, want %d", len(srcs), deliveries)
+	}
+}
+
+// TestVerdictCacheDisabled checks the cache can be turned off.
+func TestVerdictCacheDisabled(t *testing.T) {
+	payload := exploits.Table1Exploits()[0].Payload
+	e := New(Config{Classify: testClassify(), Shards: 1, VerdictCacheSize: -1})
+	for i := 0; i < 3; i++ {
+		src := netip.AddrFrom4([4]byte{10, 8, 0, byte(i)})
+		e.Process(udpTo(src, uint16(3000+i), payload, uint64(i)*1000))
+	}
+	e.Stop()
+	m := e.Snapshot()
+	if m.CacheHits != 0 || m.CacheMisses != 0 || m.CacheEntries != 0 {
+		t.Errorf("disabled cache recorded activity: %+v", m)
+	}
+	if m.Alerts == 0 {
+		t.Error("no alerts with cache disabled")
+	}
+}
+
+// TestIdleEvictionAnalyzesTail starves a never-finished exploit flow
+// of its FIN: the idle-eviction tick must analyze the tail and still
+// raise the alert — the batch pipeline would only have caught this at
+// Flush.
+func TestIdleEvictionAnalyzesTail(t *testing.T) {
+	exp := exploits.Table1Exploits()[0]
+	attacker := netip.MustParseAddr("10.7.0.1")
+
+	e := New(Config{
+		Classify:          testClassify(),
+		Shards:            1,
+		MinAnalyzeBytes:   1 << 30, // never analyze on size thresholds
+		FlowIdleTimeoutUS: 1e6,
+		TickIntervalUS:    1e5,
+	})
+	defer e.Stop()
+
+	// Exploit bytes to the honeypot over TCP, no FIN ever.
+	e.Process(&netpkt.Packet{
+		SrcIP: attacker, DstIP: traffic.HoneypotAddr,
+		SrcPort: 4321, DstPort: exp.DstPort,
+		Proto: netpkt.ProtoTCP, HasTCP: true, Flags: netpkt.FlagACK,
+		Seq: 1000, Payload: exp.Payload, TimestampUS: 1000,
+	})
+
+	// Unrelated selected traffic far past the idle timeout advances
+	// the shard's trace clock, triggering the eviction tick.
+	other := netip.MustParseAddr("10.7.0.2")
+	e.Process(udpTo(other, 9999, []byte("ping"), 5e6))
+	e.Drain() // barrier only: the flow must already be gone by now
+
+	m := e.Snapshot()
+	if m.FlowsEvictedIdle != 1 {
+		t.Fatalf("idle evictions = %d, want 1", m.FlowsEvictedIdle)
+	}
+	found := false
+	for _, a := range e.Alerts() {
+		if a.Src == attacker {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("evicted flow's tail was not analyzed: alerts=%v", e.Alerts())
+	}
+}
+
+// TestLRUByteBudgetEviction feeds more stream data than the shard
+// byte budget allows and checks the budget is enforced by eviction.
+func TestLRUByteBudgetEviction(t *testing.T) {
+	const budget = 64 << 10
+	e := New(Config{
+		Classify:        classify.Config{Disabled: true},
+		Shards:          1,
+		ShardByteBudget: budget,
+		TickIntervalUS:  1e4,
+	})
+	defer e.Stop()
+
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte('a' + i%23)
+	}
+	seqs := map[int]uint32{}
+	for n := 0; n < 2000; n++ {
+		flow := n % 50 // 50 long-lived flows, never finished
+		e.Process(&netpkt.Packet{
+			SrcIP:   netip.AddrFrom4([4]byte{10, 6, 0, byte(flow)}),
+			DstIP:   traffic.WebServer,
+			SrcPort: uint16(5000 + flow), DstPort: 80,
+			Proto: netpkt.ProtoTCP, HasTCP: true, Flags: netpkt.FlagACK,
+			Seq: seqs[flow], Payload: payload, TimestampUS: uint64(n) * 1000,
+		})
+		seqs[flow] += uint32(len(payload))
+	}
+	e.Drain()
+	m := e.Snapshot()
+	if m.FlowsEvictedLRU == 0 {
+		t.Fatalf("no LRU evictions despite %d bytes over a %d budget: %+v",
+			2000*len(payload), budget, m)
+	}
+	if m.BufferedBytes != 0 {
+		t.Errorf("buffered bytes after drain = %d, want 0", m.BufferedBytes)
+	}
+}
+
+// TestOverloadShed blocks the single shard inside an OnAlert callback
+// and checks the shed policy drops exactly the overflow, counted in
+// Dropped, without ever blocking the ingest goroutine.
+func TestOverloadShed(t *testing.T) {
+	payload := exploits.Table1Exploits()[0].Payload
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce sync.Once
+	e := New(Config{
+		Classify:   classify.Config{Disabled: true},
+		Shards:     1,
+		QueueDepth: 1,
+		Overload:   PolicyShed,
+		OnAlert: func(core.Alert) {
+			enterOnce.Do(func() { close(entered) })
+			<-release
+		},
+	})
+
+	// The first exploit packet reaches the shard and blocks it in
+	// OnAlert; the queue is empty at that point.
+	e.Process(udpTo(netip.MustParseAddr("10.5.0.1"), 1111, payload, 1000))
+	<-entered
+
+	// One more packet fits the depth-1 queue; the rest must be shed.
+	const extra = 10
+	for i := 0; i < extra; i++ {
+		e.Process(udpTo(netip.AddrFrom4([4]byte{10, 5, 1, byte(i)}), uint16(2222+i), []byte("benign"), uint64(2000+i)))
+	}
+	if got := e.Snapshot().Dropped; got != extra-1 {
+		t.Errorf("dropped = %d, want %d", got, extra-1)
+	}
+	close(release)
+	e.Stop()
+	if got := e.Snapshot().Dropped; got != extra-1 {
+		t.Errorf("dropped after stop = %d, want %d", got, extra-1)
+	}
+}
+
+// TestDrainSurvivesAcrossTraces checks the live-lifecycle semantics:
+// Drain completes a trace's analysis but the engine keeps accepting
+// traffic, unlike the batch pipeline whose Flush is terminal. Stop is
+// idempotent and alerts stay readable after it.
+func TestDrainSurvivesAcrossTraces(t *testing.T) {
+	exp := exploits.Table1Exploits()[0]
+	e := New(Config{Classify: testClassify(), Shards: 2})
+
+	feed := func(src netip.Addr) {
+		// Exploit over TCP without FIN: only Drain (tail analysis)
+		// or a size threshold can catch it.
+		e.Process(&netpkt.Packet{
+			SrcIP: src, DstIP: traffic.HoneypotAddr,
+			SrcPort: 7777, DstPort: exp.DstPort,
+			Proto: netpkt.ProtoTCP, HasTCP: true, Flags: netpkt.FlagACK,
+			Seq: 1, Payload: exp.Payload, TimestampUS: 1000,
+		})
+	}
+
+	feed(netip.MustParseAddr("10.4.0.1"))
+	e.Drain()
+	first := len(e.Alerts())
+	if first == 0 {
+		t.Fatal("no alerts after first trace + drain")
+	}
+
+	feed(netip.MustParseAddr("10.4.0.2"))
+	e.Drain()
+	second := len(e.Alerts())
+	if second <= first {
+		t.Fatalf("engine did not survive drain: %d alerts, then %d", first, second)
+	}
+
+	e.Stop()
+	e.Stop() // idempotent
+	e.Drain()
+	if got := len(e.Alerts()); got != second {
+		t.Errorf("alerts after stop = %d, want %d", got, second)
+	}
+	// Feeding after stop is ignored, not a crash.
+	feed(netip.MustParseAddr("10.4.0.3"))
+	if got := len(e.Alerts()); got != second {
+		t.Errorf("packet accepted after stop: %d alerts", got)
+	}
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/extract"
+	"semnids/internal/netpkt"
+	"semnids/internal/reasm"
+	"semnids/internal/sem"
+)
+
+// shardMsg is one unit of shard input: a selected packet, or a
+// control barrier.
+type shardMsg struct {
+	pkt    *netpkt.Packet
+	reason classify.Reason
+	ctl    *ctl
+}
+
+// ctl is a drain barrier: each shard flushes its flow state and
+// acknowledges. Because a shard consumes its queue in order, the
+// acknowledgment also proves every packet queued before the barrier
+// has been fully processed.
+type ctl struct {
+	wg *sync.WaitGroup
+}
+
+type flowInfo struct {
+	reason classify.Reason
+	ts     uint64
+}
+
+type alertKey struct {
+	flow     netpkt.FlowKey
+	template string
+}
+
+// shard owns one slice of the flow space. All fields below the queue
+// are touched only from the shard goroutine, so no locking is needed
+// on the per-flow hot path.
+type shard struct {
+	eng  *Engine
+	id   int
+	in   chan shardMsg
+	done chan struct{}
+
+	asm          *reasm.Assembler
+	lastAnalyzed map[netpkt.FlowKey]int
+	meta         map[netpkt.FlowKey]flowInfo
+	seen         map[alertKey]bool
+
+	maxTS    uint64 // highest trace timestamp seen by this shard
+	lastTick uint64
+
+	// Gauges published for Snapshot (read from other goroutines).
+	flows atomic.Int64
+	bytes atomic.Int64
+}
+
+func newShard(e *Engine, id int) *shard {
+	s := &shard{
+		eng:          e,
+		id:           id,
+		in:           make(chan shardMsg, e.cfg.QueueDepth),
+		done:         make(chan struct{}),
+		asm:          reasm.New(),
+		lastAnalyzed: make(map[netpkt.FlowKey]int),
+		meta:         make(map[netpkt.FlowKey]flowInfo),
+		seen:         make(map[alertKey]bool),
+	}
+	// Evicted flows (idle, over-budget, or reassembler capacity) get
+	// their unanalyzed tail analyzed and their side state released —
+	// eviction bounds memory, it never silently discards evidence.
+	s.asm.SetEvictHandler(func(st *reasm.Stream) {
+		if len(st.Data) > s.lastAnalyzed[st.Key] {
+			info := s.meta[st.Key]
+			s.analyze(st.Data, st.Key, info.reason, info.ts)
+		}
+		delete(s.lastAnalyzed, st.Key)
+		delete(s.meta, st.Key)
+	})
+	return s
+}
+
+func (s *shard) run() {
+	defer close(s.done)
+	for msg := range s.in {
+		if msg.ctl != nil {
+			s.flushFlows()
+			msg.ctl.wg.Done()
+		} else {
+			s.handle(msg.pkt, msg.reason)
+		}
+		s.flows.Store(int64(s.asm.FlowCount()))
+		s.bytes.Store(int64(s.asm.TotalBytes()))
+	}
+	// Queue closed (Stop): analyze what remains before exiting.
+	s.flushFlows()
+	s.flows.Store(0)
+	s.bytes.Store(0)
+}
+
+// handle pushes one selected packet through reassembly and analysis —
+// the same progression as core.ProcessPacket after classification.
+func (s *shard) handle(p *netpkt.Packet, reason classify.Reason) {
+	if p.TimestampUS > s.maxTS {
+		s.maxTS = p.TimestampUS
+	}
+	defer s.maybeTick()
+
+	if !p.HasTCP {
+		if len(p.Payload) > 0 {
+			s.analyze(p.Payload, p.Flow(), reason, p.TimestampUS)
+		}
+		return
+	}
+
+	flow := p.Flow()
+	s.meta[flow] = flowInfo{reason: reason, ts: p.TimestampUS}
+	stream := s.asm.Feed(p)
+	if stream == nil {
+		return
+	}
+	if core.ShouldAnalyze(stream.Finished, len(stream.Data), s.lastAnalyzed[flow], s.eng.cfg.MinAnalyzeBytes) {
+		s.lastAnalyzed[flow] = len(stream.Data)
+		s.analyze(stream.Data, flow, reason, p.TimestampUS)
+	}
+	if stream.Finished {
+		s.asm.Close(flow)
+		delete(s.lastAnalyzed, flow)
+		delete(s.meta, flow)
+	}
+}
+
+// maybeTick runs the flow-lifecycle maintenance pass once per
+// configured interval of trace time: idle flows first (tail-analyzed
+// via the evict handler), then LRU eviction down to the byte budget.
+// This replaces the batch pipeline's analyze-only-at-Flush: stale
+// streams are inspected while the engine keeps running.
+func (s *shard) maybeTick() {
+	cfg := &s.eng.cfg
+	if s.maxTS-s.lastTick < cfg.TickIntervalUS {
+		return
+	}
+	s.lastTick = s.maxTS
+	if s.maxTS > cfg.FlowIdleTimeoutUS {
+		n := s.asm.EvictIdle(s.maxTS - cfg.FlowIdleTimeoutUS)
+		s.eng.m.evictedIdle.Add(uint64(n))
+	}
+	n := s.asm.EvictLRUUntil(cfg.ShardByteBudget)
+	s.eng.m.evictedLRU.Add(uint64(n))
+}
+
+// flushFlows analyzes the unanalyzed tail of every tracked flow and
+// resets per-flow state — including alert dedup, so a flow key reused
+// in a later trace alerts again — leaving the shard ready for more
+// traffic.
+func (s *shard) flushFlows() {
+	for _, st := range s.asm.Drain() {
+		if len(st.Data) > s.lastAnalyzed[st.Key] {
+			info := s.meta[st.Key]
+			s.analyze(st.Data, st.Key, info.reason, info.ts)
+		}
+	}
+	clear(s.lastAnalyzed)
+	clear(s.meta)
+	clear(s.seen)
+}
+
+// analyze runs extraction (or, in FullScan mode, forwards the whole
+// payload) and the semantic stages over one stream view.
+func (s *shard) analyze(data []byte, flow netpkt.FlowKey, reason classify.Reason, ts uint64) {
+	if len(data) == 0 {
+		return
+	}
+	s.eng.m.streams.Add(1)
+	if s.eng.cfg.FullScan {
+		s.analyzeFrame(extract.Frame{Data: data, Source: "fullscan"}, flow, reason, ts)
+		return
+	}
+	for _, f := range extract.Extract(data) {
+		s.analyzeFrame(f, flow, reason, ts)
+	}
+}
+
+// analyzeFrame resolves one extracted frame's verdict — through the
+// fingerprint cache when enabled — and emits any detections.
+func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64) {
+	e := s.eng
+	e.m.frames.Add(1)
+	e.m.frameBytes.Add(uint64(len(f.Data)))
+	var ds []sem.Detection
+	if e.cache != nil {
+		fp := fingerprintOf(f.Data)
+		if cached, ok := e.cache.get(fp); ok {
+			e.m.cacheHits.Add(1)
+			ds = cached
+		} else {
+			e.m.cacheMisses.Add(1)
+			ds = e.analyzer.AnalyzeFrameCached(f.Data, f.DecodeCache())
+			e.cache.put(fp, ds)
+		}
+	} else {
+		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.DecodeCache())
+	}
+	for _, d := range ds {
+		s.emit(f, flow, reason, ts, d)
+	}
+}
+
+// emit records one detection, deduplicated per (flow, template). The
+// dedup map is shard-local: a flow is always handled by one shard.
+func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64, d sem.Detection) {
+	key := alertKey{flow: flow, template: d.Template}
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	a := core.Alert{
+		TimestampUS: ts,
+		Src:         flow.SrcIP, Dst: flow.DstIP,
+		SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+		Reason:      reason,
+		FrameSource: f.Source,
+		Detection:   d,
+	}
+	e := s.eng
+	e.mu.Lock()
+	e.alerts = append(e.alerts, a)
+	e.mu.Unlock()
+	e.m.alerts.Add(1)
+	// Follow-on traffic from a confirmed attacker is always analyzed.
+	e.classifier.MarkSuspicious(flow.SrcIP, ts)
+	if e.cfg.OnAlert != nil {
+		e.cfg.OnAlert(a)
+	}
+}

@@ -37,6 +37,31 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+func FuzzPcapNGReader(f *testing.F) {
+	var b ngBuf
+	b.shb()
+	b.idb(linkTypeEthernet, 9)
+	b.epb(0, 1700000000_000000000, testFrame("seed"))
+	f.Add(b.Bytes())
+	f.Add([]byte{0x0a, 0x0d, 0x0d, 0x0a})
+	f.Add([]byte{0x0a, 0x0d, 0x0d, 0x0a, 28, 0, 0, 0, 0x4d, 0x3c, 0x2b, 0x1a})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 64; i++ {
+			frame, _, err := r.NextFrame()
+			if err != nil {
+				return
+			}
+			if len(frame) > maxSnapLen {
+				t.Fatalf("frame of %d bytes exceeds snap length", len(frame))
+			}
+		}
+	})
+}
+
 func FuzzPcapReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewPcapWriter(&buf)

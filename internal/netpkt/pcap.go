@@ -10,12 +10,14 @@ import (
 // Classic libpcap file format (the format the paper's traces were
 // stored in): a 24-byte global header followed by per-packet records.
 const (
-	pcapMagic        = 0xa1b2c3d4
-	pcapMagicSwapped = 0xd4c3b2a1
-	pcapVersionMajor = 2
-	pcapVersionMinor = 4
-	linkTypeEthernet = 1
-	maxSnapLen       = 262144
+	pcapMagic         = 0xa1b2c3d4
+	pcapMagicSwapped  = 0xd4c3b2a1
+	pcapMagicNano     = 0xa1b23c4d // nanosecond-resolution variant
+	pcapMagicNanoSwap = 0x4d3cb2a1
+	pcapVersionMajor  = 2
+	pcapVersionMinor  = 4
+	linkTypeEthernet  = 1
+	maxSnapLen        = 262144
 )
 
 // ErrBadPcap is returned for malformed trace files.
@@ -68,11 +70,18 @@ func (pw *PcapWriter) WritePacket(p *Packet) error {
 // Count returns the number of packets written.
 func (pw *PcapWriter) Count() int { return pw.count }
 
-// PcapReader streams packets out of a classic pcap file.
+// PcapReader streams packets out of a classic pcap file
+// (microsecond- or nanosecond-resolution magic, either endianness).
 type PcapReader struct {
 	r       io.Reader
 	swapped bool
+	nano    bool // timestamps are in nanoseconds (converted to µs)
 	link    uint32
+
+	// Record-header and frame buffers, reused across NextFrame calls
+	// so reading a trace does not allocate two slices per packet.
+	rec   [16]byte
+	frame []byte
 }
 
 // NewPcapReader validates the global header.
@@ -87,6 +96,11 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 	case pcapMagic:
 	case pcapMagicSwapped:
 		pr.swapped = true
+	case pcapMagicNano:
+		pr.nano = true
+	case pcapMagicNanoSwap:
+		pr.swapped = true
+		pr.nano = true
 	default:
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadPcap, magic)
 	}
@@ -104,34 +118,52 @@ func (pr *PcapReader) u32(b []byte) uint32 {
 	return binary.LittleEndian.Uint32(b)
 }
 
-// NextFrame returns the next raw frame and its timestamp, or io.EOF.
+// NextFrame returns the next raw frame and its timestamp
+// (microseconds), or io.EOF. The returned slice aliases an internal
+// buffer that is overwritten by the next NextFrame call; callers that
+// retain the frame must copy it.
 func (pr *PcapReader) NextFrame() ([]byte, uint64, error) {
-	rec := make([]byte, 16)
-	if _, err := io.ReadFull(pr.r, rec); err != nil {
+	if _, err := io.ReadFull(pr.r, pr.rec[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return nil, 0, fmt.Errorf("%w: truncated record header", ErrBadPcap)
 		}
 		return nil, 0, err
 	}
-	sec := pr.u32(rec[0:4])
-	usec := pr.u32(rec[4:8])
-	capLen := pr.u32(rec[8:12])
+	sec := pr.u32(pr.rec[0:4])
+	frac := pr.u32(pr.rec[4:8])
+	capLen := pr.u32(pr.rec[8:12])
 	if capLen > maxSnapLen {
 		return nil, 0, fmt.Errorf("%w: capture length %d too large", ErrBadPcap, capLen)
 	}
-	frame := make([]byte, capLen)
+	if uint32(cap(pr.frame)) < capLen {
+		pr.frame = make([]byte, capLen)
+	}
+	frame := pr.frame[:capLen]
 	if _, err := io.ReadFull(pr.r, frame); err != nil {
 		return nil, 0, fmt.Errorf("%w: truncated frame", ErrBadPcap)
 	}
-	return frame, uint64(sec)*1e6 + uint64(usec), nil
+	ts := uint64(sec)*1e6 + uint64(frac)
+	if pr.nano {
+		ts = uint64(sec)*1e6 + uint64(frac)/1000
+	}
+	return frame, ts, nil
 }
 
 // NextPacket parses the next frame; unparseable frames are skipped
 // (counted in *skipped if non-nil) so a damaged trace does not stop
-// analysis.
+// analysis. The returned packet owns its payload and stays valid
+// across subsequent reads.
 func (pr *PcapReader) NextPacket(skipped *int) (*Packet, error) {
+	return nextPacket(pr, skipped)
+}
+
+// nextPacket implements NextPacket over any frame source, detaching
+// the parsed payload from the source's reused frame buffer.
+func nextPacket(fr interface {
+	NextFrame() ([]byte, uint64, error)
+}, skipped *int) (*Packet, error) {
 	for {
-		frame, ts, err := pr.NextFrame()
+		frame, ts, err := fr.NextFrame()
 		if err != nil {
 			return nil, err
 		}
@@ -141,6 +173,11 @@ func (pr *PcapReader) NextPacket(skipped *int) (*Packet, error) {
 				*skipped++
 			}
 			continue
+		}
+		// Parse subslices the frame; copy the payload so the packet
+		// survives the next read (and any asynchronous analysis).
+		if len(p.Payload) > 0 {
+			p.Payload = append([]byte(nil), p.Payload...)
 		}
 		p.TimestampUS = ts
 		return p, nil

@@ -28,14 +28,19 @@ type segment struct {
 
 // stream is one direction of a TCP connection.
 type stream struct {
-	key      netpkt.FlowKey
-	baseSeq  uint32 // sequence number of the first byte of Data
-	haveBase bool
-	data     []byte
-	pending  []segment // out-of-order segments, sorted by seq
-	lastSeen uint64    // timestamp of last activity
-	finished bool
+	key       netpkt.FlowKey
+	baseSeq   uint32 // sequence number of the first byte of Data
+	haveBase  bool
+	data      []byte
+	pending   []segment // out-of-order segments, sorted by seq
+	pendBytes int       // total payload bytes buffered in pending
+	lastSeen  uint64    // timestamp of last activity
+	finished  bool
 }
+
+// footprint is the stream's buffered-memory cost, used for the
+// assembler's byte accounting.
+func (st *stream) footprint() int { return len(st.data) + st.pendBytes }
 
 // Stream is the reassembled view handed to the next pipeline stage.
 type Stream struct {
@@ -47,12 +52,30 @@ type Stream struct {
 // Assembler reassembles many flows concurrently-fed from one goroutine.
 type Assembler struct {
 	flows map[netpkt.FlowKey]*stream
+	bytes int // sum of per-flow footprints
+
+	// onEvict, when set, is invoked for every flow the assembler drops
+	// on its own (capacity overflow, EvictIdle, EvictLRUUntil) — NOT
+	// for Close or Drain, whose streams are returned to the caller.
+	// The stream's Finished field is false: the flow did not end, the
+	// assembler gave up on it. The handler must not call back into the
+	// assembler.
+	onEvict func(*Stream)
 }
 
 // New returns an empty assembler.
 func New() *Assembler {
 	return &Assembler{flows: make(map[netpkt.FlowKey]*stream)}
 }
+
+// SetEvictHandler registers a callback receiving the final reassembled
+// view of every flow the assembler evicts, so callers can analyze the
+// tail and release per-flow side state instead of silently losing it.
+func (a *Assembler) SetEvictHandler(h func(*Stream)) { a.onEvict = h }
+
+// TotalBytes reports the bytes currently buffered across all flows
+// (contiguous data plus out-of-order segments).
+func (a *Assembler) TotalBytes() int { return a.bytes }
 
 // seqLess compares TCP sequence numbers with wraparound.
 func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
@@ -97,7 +120,9 @@ func (a *Assembler) Feed(p *netpkt.Packet) *Stream {
 		st.haveBase = true
 	}
 
+	before := st.footprint()
 	grew := st.insert(seq, p.Payload)
+	a.bytes += st.footprint() - before
 	return a.result(st, grew)
 }
 
@@ -130,6 +155,7 @@ func (st *stream) insert(seq uint32, data []byte) bool {
 		// Gap: buffer out of order.
 		if len(st.pending) < MaxGapSegments {
 			st.pending = append(st.pending, segment{seq: seq, data: append([]byte(nil), data...)})
+			st.pendBytes += len(data)
 			sort.Slice(st.pending, func(i, j int) bool {
 				return seqLess(st.pending[i].seq, st.pending[j].seq)
 			})
@@ -145,6 +171,7 @@ func (st *stream) insert(seq uint32, data []byte) bool {
 		for _, sg := range st.pending {
 			switch {
 			case seqLess(sg.seq, end) || sg.seq == end:
+				st.pendBytes -= len(sg.data)
 				skip := end - sg.seq
 				if uint32(len(sg.data)) > skip {
 					st.data = appendCapped(st.data, sg.data[skip:])
@@ -171,20 +198,63 @@ func appendCapped(dst, src []byte) []byte {
 	return append(dst, src...)
 }
 
+// evict removes one flow, updates the byte accounting, and notifies
+// the evict handler.
+func (a *Assembler) evict(st *stream) {
+	a.bytes -= st.footprint()
+	delete(a.flows, st.key)
+	if a.onEvict != nil {
+		a.onEvict(&Stream{Key: st.key, Data: st.data, Finished: false})
+	}
+}
+
+// lruOrder returns all streams sorted by last activity, oldest first.
+func (a *Assembler) lruOrder() []*stream {
+	entries := make([]*stream, 0, len(a.flows))
+	for _, s := range a.flows {
+		entries = append(entries, s)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].lastSeen < entries[j].lastSeen })
+	return entries
+}
+
 // evictIdle drops the least recently active half of the flow table.
 func (a *Assembler) evictIdle() {
-	type entry struct {
-		key  netpkt.FlowKey
-		last uint64
+	entries := a.lruOrder()
+	for _, st := range entries[:len(entries)/2] {
+		a.evict(st)
 	}
-	entries := make([]entry, 0, len(a.flows))
-	for k, s := range a.flows {
-		entries = append(entries, entry{k, s.lastSeen})
+}
+
+// EvictIdle drops every flow whose last activity predates olderThanUS,
+// reporting how many were evicted. Each evicted flow is handed to the
+// evict handler first, so its unanalyzed tail can still be inspected.
+func (a *Assembler) EvictIdle(olderThanUS uint64) int {
+	n := 0
+	for _, st := range a.flows {
+		if st.lastSeen < olderThanUS {
+			a.evict(st)
+			n++
+		}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].last < entries[j].last })
-	for _, e := range entries[:len(entries)/2] {
-		delete(a.flows, e.key)
+	return n
+}
+
+// EvictLRUUntil drops least-recently-active flows until the buffered
+// byte total is at or below budget, reporting how many were evicted.
+func (a *Assembler) EvictLRUUntil(budget int) int {
+	if a.bytes <= budget {
+		return 0
 	}
+	n := 0
+	for _, st := range a.lruOrder() {
+		if a.bytes <= budget {
+			break
+		}
+		a.evict(st)
+		n++
+	}
+	return n
 }
 
 // Close removes a finished flow's state and returns its final stream.
@@ -193,6 +263,7 @@ func (a *Assembler) Close(key netpkt.FlowKey) *Stream {
 	if st == nil {
 		return nil
 	}
+	a.bytes -= st.footprint()
 	delete(a.flows, key)
 	if len(st.data) == 0 {
 		return nil
@@ -211,6 +282,7 @@ func (a *Assembler) Drain() []*Stream {
 		if len(st.data) > 0 {
 			out = append(out, &Stream{Key: k, Data: st.data, Finished: true})
 		}
+		a.bytes -= st.footprint()
 		delete(a.flows, k)
 	}
 	return out

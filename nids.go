@@ -28,9 +28,11 @@ import (
 	"io"
 	"net/netip"
 	"strings"
+	"time"
 
 	"semnids/internal/classify"
 	"semnids/internal/core"
+	"semnids/internal/engine"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
 )
@@ -92,20 +94,22 @@ type NIDS struct {
 	inner *core.NIDS
 }
 
-// New validates the configuration and starts a detector.
-func New(cfg Config) (*NIDS, error) {
+// pipeline translates the public configuration into the classifier
+// config and template set shared by the batch detector and the
+// streaming engine.
+func (cfg Config) pipeline() (classify.Config, []*sem.Template, error) {
 	var ccfg classify.Config
 	for _, h := range cfg.Honeypots {
 		a, err := netip.ParseAddr(h)
 		if err != nil {
-			return nil, fmt.Errorf("nids: bad honeypot address %q: %w", h, err)
+			return ccfg, nil, fmt.Errorf("nids: bad honeypot address %q: %w", h, err)
 		}
 		ccfg.Honeypots = append(ccfg.Honeypots, a)
 	}
 	for _, d := range cfg.DarkSpace {
 		p, err := netip.ParsePrefix(d)
 		if err != nil {
-			return nil, fmt.Errorf("nids: bad dark-space prefix %q: %w", d, err)
+			return ccfg, nil, fmt.Errorf("nids: bad dark-space prefix %q: %w", d, err)
 		}
 		ccfg.DarkSpace = append(ccfg.DarkSpace, p)
 	}
@@ -119,9 +123,18 @@ func New(cfg Config) (*NIDS, error) {
 	if cfg.TemplatesDSL != "" {
 		parsed, err := sem.ParseTemplates(strings.NewReader(cfg.TemplatesDSL))
 		if err != nil {
-			return nil, fmt.Errorf("nids: templates: %w", err)
+			return ccfg, nil, fmt.Errorf("nids: templates: %w", err)
 		}
 		tpls = parsed
+	}
+	return ccfg, tpls, nil
+}
+
+// New validates the configuration and starts a detector.
+func New(cfg Config) (*NIDS, error) {
+	ccfg, tpls, err := cfg.pipeline()
+	if err != nil {
+		return nil, err
 	}
 	inner := core.New(core.Config{
 		Classify:  ccfg,
@@ -175,3 +188,160 @@ func AnalyzeBytes(data []byte) []Detection {
 func AnalyzePayload(payload []byte) []Detection {
 	return core.AnalyzePayload(payload)
 }
+
+// EngineMetrics reports streaming-engine counters and gauges.
+type EngineMetrics = engine.Metrics
+
+// EngineConfig configures a streaming Engine: the detector settings
+// plus the sharding, lifecycle and overload knobs. Config.Workers is
+// ignored — the shards are the workers.
+type EngineConfig struct {
+	Config
+
+	// Shards is the number of ingest shards, each owning its slice of
+	// the flow space (default: number of CPUs).
+	Shards int
+
+	// QueueDepth bounds each shard's packet queue (default 1024).
+	QueueDepth int
+
+	// ShedOnOverload drops packets (counted in EngineMetrics.Dropped)
+	// when a shard queue is full instead of blocking ingestion.
+	ShedOnOverload bool
+
+	// FlowIdleTimeout evicts flows idle for this long in trace time,
+	// analyzing their unfinished tail first (default 60s).
+	FlowIdleTimeout time.Duration
+
+	// FlowByteBudget caps reassembly buffering per shard; LRU flows
+	// beyond it are tail-analyzed and evicted (default 64 MiB).
+	FlowByteBudget int
+
+	// VerdictCacheSize is the payload-fingerprint verdict cache
+	// capacity in entries (0 = default 8192, negative disables).
+	VerdictCacheSize int
+}
+
+// Engine is a continuously-running streaming detector: sharded
+// ingestion, bounded flow state with eviction, and verdict caching.
+// Unlike NIDS, it survives beyond a single trace — Drain flushes
+// in-progress flows and keeps it live; only Stop terminates it. Feed
+// from one goroutine; ProcessFrame and Flush are drop-in compatible
+// with the batch NIDS surface.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine validates the configuration and starts a streaming
+// engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	ccfg, tpls, err := cfg.Config.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	ecfg := engine.Config{
+		Classify:          ccfg,
+		Templates:         tpls,
+		Shards:            cfg.Shards,
+		QueueDepth:        cfg.QueueDepth,
+		FlowIdleTimeoutUS: uint64(cfg.FlowIdleTimeout / time.Microsecond),
+		ShardByteBudget:   cfg.FlowByteBudget,
+		VerdictCacheSize:  cfg.VerdictCacheSize,
+		FullScan:          cfg.FullScan,
+		OnAlert:           cfg.OnAlert,
+	}
+	if cfg.ShedOnOverload {
+		ecfg.Overload = engine.PolicyShed
+	}
+	return &Engine{inner: engine.New(ecfg)}, nil
+}
+
+// ProcessFrame feeds one raw Ethernet frame with its capture
+// timestamp (microseconds). Unparseable frames are reported as an
+// error without stopping the engine.
+func (e *Engine) ProcessFrame(frame []byte, tsUS uint64) error {
+	p, err := netpkt.Parse(frame)
+	if err != nil {
+		return err
+	}
+	// Parse subslices the caller's buffer; the engine holds packets
+	// asynchronously, so detach the payload.
+	if len(p.Payload) > 0 {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	p.TimestampUS = tsUS
+	e.inner.Process(p)
+	return nil
+}
+
+// Run streams a capture (classic pcap or pcapng) through the engine
+// as fast as it reads, then drains. The engine remains live for the
+// next capture or live traffic.
+func (e *Engine) Run(r io.Reader) error {
+	return e.feed(r, 0)
+}
+
+// Replay streams a capture through the engine paced by its capture
+// timestamps: speed 1 replays in real time, 2 at double speed, and so
+// on; speed <= 0 disables pacing (same as Run). Drains at EOF, so the
+// engine's lifecycle ticks and alerts fire as they would on live
+// traffic.
+func (e *Engine) Replay(r io.Reader, speed float64) error {
+	return e.feed(r, speed)
+}
+
+func (e *Engine) feed(r io.Reader, speed float64) error {
+	tr, err := netpkt.NewTraceReader(r)
+	if err != nil {
+		return err
+	}
+	var (
+		started bool
+		firstTS uint64
+		start   time.Time
+	)
+	for {
+		p, err := tr.NextPacket(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if speed > 0 {
+			if !started {
+				started = true
+				firstTS = p.TimestampUS
+				start = time.Now()
+			} else if p.TimestampUS > firstTS {
+				due := start.Add(time.Duration(float64(p.TimestampUS-firstTS)/speed) * time.Microsecond)
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}
+		e.inner.Process(p)
+	}
+	e.inner.Drain()
+	return nil
+}
+
+// Drain completes all queued analysis and the unfinished tail of
+// every tracked flow, then resets flow state. The engine stays live.
+func (e *Engine) Drain() { e.inner.Drain() }
+
+// Flush is Drain under the batch detector's name, so the engine is a
+// drop-in replacement for NIDS — with the difference that the engine
+// can still be fed afterwards.
+func (e *Engine) Flush() { e.inner.Drain() }
+
+// Stop drains and terminates the engine. Idempotent and safe
+// alongside concurrent Alerts/Stats reads.
+func (e *Engine) Stop() { e.inner.Stop() }
+
+// Alerts returns the alerts recorded so far (complete for a trace
+// after Drain or Stop).
+func (e *Engine) Alerts() []Alert { return e.inner.Alerts() }
+
+// Stats returns engine counters and gauges.
+func (e *Engine) Stats() EngineMetrics { return e.inner.Snapshot() }
