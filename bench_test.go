@@ -16,6 +16,7 @@ import (
 	"semnids/internal/engine"
 	"semnids/internal/exploits"
 	"semnids/internal/extract"
+	"semnids/internal/incident"
 	"semnids/internal/ir"
 	"semnids/internal/morph"
 	"semnids/internal/netpkt"
@@ -632,3 +633,77 @@ func BenchmarkPcapWrite(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkCorrelator measures the incident path: a trace through the
+// streaming engine with the correlator detached ("off" — the tap is a
+// nil check on the hot path) and attached ("on" — events cross the
+// bounded channel and drive the kill-chain state machines). Two
+// workloads: "mixed" is the engine-throughput trace (benign-dominated,
+// classification prunes most packets, so events are rare — the ≤5%
+// overhead target applies here), and "outbreak" is the adversarial
+// ceiling (a worm trace where every packet is selected and event
+// density is maximal).
+func BenchmarkCorrelator(b *testing.B) {
+	ccfg := classify.Config{
+		Honeypots:     []netip.Addr{traffic.HoneypotAddr},
+		DarkSpace:     []netip.Prefix{traffic.DarkNet},
+		ScanThreshold: 3,
+	}
+	run := func(b *testing.B, pkts []*netpkt.Packet, correlate, wantPropagation bool) {
+		// Engine and correlator are long-lived (Drain keeps them hot
+		// across traces), so setup sits outside the timed loop: the
+		// measurement is the steady-state per-trace cost of the tap,
+		// the event channel and the state machines.
+		var total int64
+		for _, p := range pkts {
+			total += int64(len(p.Payload))
+		}
+		var corr *incident.Correlator
+		ecfg := engine.Config{Classify: ccfg, Shards: 4}
+		if correlate {
+			corr = incident.New(incident.Config{})
+			ecfg.OnEvent = corr.Publish
+			defer corr.Stop()
+		}
+		e := engine.New(ecfg)
+		defer e.Stop()
+		// One work unit is several passes over the trace per drain, as
+		// a live sensor drains rarely relative to traffic volume; this
+		// keeps the per-drain barriers from dominating a short trace.
+		const passes = 10
+		b.SetBytes(total * passes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < passes; p++ {
+				for _, pkt := range pkts {
+					e.Process(pkt)
+				}
+			}
+			e.Drain()
+			if correlate {
+				corr.Flush()
+			}
+		}
+		b.StopTimer()
+		if len(e.Alerts()) == 0 {
+			b.Fatal("trace produced no alerts")
+		}
+		if wantPropagation {
+			reached := false
+			for _, inc := range corr.Incidents() {
+				if inc.Stage == incident.StagePropagation {
+					reached = true
+				}
+			}
+			if !reached {
+				b.Fatal("outbreak produced no PROPAGATION incident")
+			}
+		}
+	}
+	mixed := traffic.Synthesize(traffic.TraceSpec{Seed: 9, BenignSessions: 120, CodeRedInstances: 2})
+	outbreak := traffic.WormOutbreak(traffic.WormSpec{Seed: 7, Generations: 2, FanoutPerHost: 2, BenignSessions: 6})
+	b.Run("mixed/off", func(b *testing.B) { run(b, mixed, false, false) })
+	b.Run("mixed/on", func(b *testing.B) { run(b, mixed, true, false) })
+	b.Run("outbreak/off", func(b *testing.B) { run(b, outbreak, false, false) })
+	b.Run("outbreak/on", func(b *testing.B) { run(b, outbreak, true, true) })
+}

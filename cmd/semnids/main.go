@@ -6,13 +6,19 @@
 //	semnids -pcap trace.pcap [-honeypot 192.168.1.250] [-dark 192.168.2.0/24]
 //	        [-all] [-fullscan] [-workers N]
 //	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
+//	        [-correlate] [-incident-window 30s] [-stats]
 //
 // With -all the classifier is disabled and every payload is analyzed
 // (the paper's Section 5.4 configuration). With -stream the trace is
 // fed through the sharded streaming engine instead of the batch
 // pipeline; -replay paces packets by their capture timestamps (-speed
 // scales the pace, 1 = real time), exercising flow eviction and the
-// verdict cache as live traffic would.
+// verdict cache as live traffic would. -correlate (implies -stream)
+// attaches the incident correlator: per-source kill-chain tracking
+// (RECON → EXPLOIT → PROPAGATION) with the fan-out window set by
+// -incident-window; incidents print as a table, or as JSONL after the
+// alerts with -json. -stats prints per-shard load gauges (EWMA
+// packets/sec, queue depth) and correlator counters.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	nids "semnids"
 	"semnids/internal/report"
@@ -44,6 +51,9 @@ func main() {
 		shed      = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
 		replay    = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
 		speed     = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
+		correlate = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
+		incWindow = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
+		stats     = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
 	)
 	flag.Parse()
 	if *scanPath != "" {
@@ -79,8 +89,12 @@ func main() {
 		cfg.TemplatesDSL = string(text)
 	}
 
-	if *stream {
-		runEngine(cfg, *pcapPath, *shards, *shed, *replay, *speed, *jsonOut, *summary)
+	if *stream || *correlate {
+		runEngine(cfg, *pcapPath, engineOpts{
+			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
+			jsonOut: *jsonOut, summary: *summary, stats: *stats,
+			correlate: *correlate, incidentWindow: *incWindow,
+		})
 		return
 	}
 
@@ -117,15 +131,30 @@ func main() {
 		m.Packets, m.Selected, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
 }
 
+// engineOpts bundles the streaming-engine command-line switches.
+type engineOpts struct {
+	shards         int
+	shed           bool
+	replay         bool
+	speed          float64
+	jsonOut        bool
+	summary        bool
+	stats          bool
+	correlate      bool
+	incidentWindow time.Duration
+}
+
 // runEngine feeds the trace through the streaming engine, optionally
 // paced by capture timestamps, and prints engine-level statistics
 // (verdict cache, evictions, shed packets) alongside the pipeline
-// counters.
-func runEngine(cfg nids.Config, pcapPath string, shards int, shed, replay bool, speed float64, jsonOut, summary bool) {
+// counters — plus live incidents when the correlator is attached.
+func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
 	e, err := nids.NewEngine(nids.EngineConfig{
 		Config:         cfg,
-		Shards:         shards,
-		ShedOnOverload: shed,
+		Shards:         opts.shards,
+		ShedOnOverload: opts.shed,
+		Correlate:      opts.correlate,
+		IncidentWindow: opts.incidentWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
@@ -138,8 +167,8 @@ func runEngine(cfg nids.Config, pcapPath string, shards int, shed, replay bool, 
 		os.Exit(1)
 	}
 	defer f.Close()
-	if replay {
-		err = e.Replay(f, speed)
+	if opts.replay {
+		err = e.Replay(f, opts.speed)
 	} else {
 		err = e.Run(f)
 	}
@@ -147,15 +176,28 @@ func runEngine(cfg nids.Config, pcapPath string, shards int, shed, replay bool, 
 		fmt.Fprintln(os.Stderr, "semnids:", err)
 		os.Exit(1)
 	}
-	if jsonOut {
+	if opts.jsonOut {
 		if err := report.WriteJSON(os.Stdout, e.Alerts()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
 			os.Exit(1)
 		}
+		if opts.correlate {
+			if err := report.WriteIncidentsJSON(os.Stdout, e.Incidents()); err != nil {
+				fmt.Fprintln(os.Stderr, "semnids:", err)
+				os.Exit(1)
+			}
+		}
 	}
-	if summary {
+	if opts.summary {
 		fmt.Println()
 		if err := report.WriteSummary(os.Stdout, e.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			os.Exit(1)
+		}
+	}
+	if opts.correlate && !opts.jsonOut {
+		fmt.Println()
+		if err := report.WriteIncidents(os.Stdout, e.Incidents()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
 			os.Exit(1)
 		}
@@ -163,8 +205,19 @@ func runEngine(cfg nids.Config, pcapPath string, shards int, shed, replay bool, 
 	m := e.Stats()
 	fmt.Printf("\npackets=%d selected=%d dropped=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
 		m.Packets, m.Selected, m.Dropped, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
-	fmt.Printf("cache-hits=%d cache-misses=%d evicted-idle=%d evicted-lru=%d\n",
-		m.CacheHits, m.CacheMisses, m.FlowsEvictedIdle, m.FlowsEvictedLRU)
+	fmt.Printf("cache-hits=%d cache-misses=%d cache-rejected=%d evicted-idle=%d evicted-lru=%d\n",
+		m.CacheHits, m.CacheMisses, m.CacheRejected, m.FlowsEvictedIdle, m.FlowsEvictedLRU)
+	if opts.stats {
+		for i, sh := range m.Shards {
+			fmt.Printf("shard[%d]: queue=%d/%d ewma-pps=%.1f\n", i, sh.QueueLen, sh.QueueCap, sh.PacketsPerSec)
+		}
+		if opts.correlate {
+			im := e.IncidentStats()
+			fmt.Printf("correlator: events=%d flow-opens=%d alerts=%d fingerprints=%d sources=%d incidents=%d evicted-lru=%d evicted-idle=%d\n",
+				im.Events, im.FlowOpens, im.Alerts, im.Fingerprints,
+				im.SourcesTracked, im.Incidents, im.SourcesEvictedLRU, im.SourcesEvictedIdle)
+		}
+	}
 }
 
 // hostScan analyzes an on-disk binary with the semantic stages only —

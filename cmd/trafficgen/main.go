@@ -1,11 +1,14 @@
 // Command trafficgen synthesizes network traces with known ground
 // truth and writes them in classic pcap format: benign background
 // sessions (HTTP, DNS, SMTP) optionally mixed with Code Red II
-// exploitation vectors delivered by scanning sources.
+// exploitation vectors delivered by scanning sources — or, with
+// -worm, a propagating outbreak whose victims re-deliver the payload
+// (the kill-chain workload for `semnids -correlate`).
 //
 // Usage:
 //
 //	trafficgen -o trace.pcap -sessions 5000 -codered 4 -seed 7
+//	trafficgen -o worm.pcap -worm 3 -fanout 2 -seed 7
 package main
 
 import (
@@ -13,17 +16,29 @@ import (
 	"fmt"
 	"os"
 
+	"semnids/internal/netpkt"
 	"semnids/internal/traffic"
 )
 
 func main() {
 	var (
 		out      = flag.String("o", "trace.pcap", "output pcap path")
-		sessions = flag.Int("sessions", 1000, "benign background sessions")
+		sessions = flag.Int("sessions", 1000, "benign background sessions (with -worm: per infection, default 2)")
 		codered  = flag.Int("codered", 0, "Code Red II instances to mix in")
+		worm     = flag.Int("worm", 0, "generate a propagating outbreak with this many generations instead")
+		fanout   = flag.Int("fanout", 2, "victims infected per host (with -worm)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 	)
 	flag.Parse()
+	// -sessions means "background per infection" in worm mode, whose
+	// default differs from the trace default; only forward it when the
+	// user actually set it.
+	sessionsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sessions" {
+			sessionsSet = true
+		}
+	})
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -31,6 +46,39 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *worm > 0 {
+		spec := traffic.WormSpec{
+			Seed:          *seed,
+			Generations:   *worm,
+			FanoutPerHost: *fanout,
+		}
+		if sessionsSet {
+			// WormSpec treats 0 as "use the default" and negative as
+			// "none"; an explicit -sessions 0 means none.
+			if *sessions == 0 {
+				spec.BenignSessions = -1
+			} else {
+				spec.BenignSessions = *sessions
+			}
+		}
+		pkts := traffic.WormOutbreak(spec)
+		w, err := netpkt.NewPcapWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+			os.Exit(1)
+		}
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				fmt.Fprintln(os.Stderr, "trafficgen:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d packets (worm outbreak: %d generations, fanout %d) to %s\n",
+			w.Count(), *worm, *fanout, *out)
+		return
+	}
+
 	count, err := traffic.WritePcap(f, traffic.TraceSpec{
 		Seed:             *seed,
 		BenignSessions:   *sessions,

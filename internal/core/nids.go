@@ -314,6 +314,12 @@ func (n *NIDS) ProcessPacket(p *netpkt.Packet) {
 	if stream == nil {
 		return
 	}
+	if stream.Rewritten {
+		// A LastWins retransmission changed already-analyzed bytes:
+		// the analyzed-prefix watermark no longer describes the
+		// stream's content, so analysis must start over.
+		delete(n.lastAnalyzed, flow)
+	}
 	if ShouldAnalyze(stream.Finished, len(stream.Data), n.lastAnalyzed[flow], n.cfg.MinAnalyzeBytes) {
 		n.lastAnalyzed[flow] = len(stream.Data)
 		n.metrics.streams.Add(1)

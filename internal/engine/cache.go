@@ -4,43 +4,39 @@ import (
 	"container/list"
 	"sync"
 
+	"semnids/internal/core"
 	"semnids/internal/sem"
 )
 
-// fingerprint is a 128-bit payload identity: two independent FNV-1a
-// style hashes plus the length folded in. Worm outbreaks deliver the
-// same frame bytes millions of times; 128 bits makes an accidental
-// collision (a wrong cached verdict) vanishingly unlikely without
-// storing the frame itself.
-type fingerprint struct {
-	a, b uint64
-	n    int
-}
-
-func fingerprintOf(data []byte) fingerprint {
-	const prime = 1099511628211
-	h1 := uint64(14695981039346656037) // FNV-1a offset basis
-	h2 := uint64(14695981039346656037 ^ 0x9e3779b97f4a7c15)
-	for _, c := range data {
-		h1 = (h1 ^ uint64(c)) * prime
-		h2 = (h2 ^ uint64(c)) * (prime + 2)
-	}
-	return fingerprint{a: h1, b: h2, n: len(data)}
-}
+// fingerprintOf is the engine's payload identity — the shared 128-bit
+// fingerprint (core.Fingerprint) also used by the incident correlator
+// to recognize a victim re-emitting the payload it was attacked with.
+func fingerprintOf(data []byte) core.Fingerprint { return core.FingerprintOf(data) }
 
 // verdictCache memoizes semantic-analysis verdicts by payload
-// fingerprint, bounded by an LRU policy. A cached verdict may be an
-// empty detection list — knowing a frame is benign is as valuable as
-// knowing it is hostile, since benign frames dominate live traffic.
+// fingerprint, bounded by an LRU policy with TinyLFU-style admission.
+// A cached verdict may be an empty detection list — knowing a frame is
+// benign is as valuable as knowing it is hostile, since benign frames
+// dominate live traffic.
+//
+// Admission: every lookup feeds a 4-bit count-min sketch. When the
+// cache is full, a new fingerprint is admitted only if its estimated
+// frequency exceeds the LRU victim's — so a scan spraying millions of
+// one-shot payloads (each seen exactly once) cannot churn out the hot
+// worm fingerprints the cache exists to serve. Rejections are counted;
+// correctness is unaffected either way, since an unadmitted frame is
+// simply analyzed again next time.
 type verdictCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[fingerprint]*list.Element
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	entries  map[core.Fingerprint]*list.Element
+	admit    *cmSketch
+	rejected uint64
 }
 
 type cacheEntry struct {
-	key fingerprint
+	key core.Fingerprint
 	ds  []sem.Detection
 }
 
@@ -48,15 +44,17 @@ func newVerdictCache(capacity int) *verdictCache {
 	return &verdictCache{
 		cap:     capacity,
 		ll:      list.New(),
-		entries: make(map[fingerprint]*list.Element, capacity),
+		entries: make(map[core.Fingerprint]*list.Element, capacity),
+		admit:   newCMSketch(capacity),
 	}
 }
 
 // get returns the cached detections for a fingerprint. The second
 // result distinguishes "cached as benign" (nil, true) from "unknown".
-func (c *verdictCache) get(key fingerprint) ([]sem.Detection, bool) {
+func (c *verdictCache) get(key core.Fingerprint) ([]sem.Detection, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.admit.inc(key.A)
 	el, ok := c.entries[key]
 	if !ok {
 		return nil, false
@@ -65,9 +63,10 @@ func (c *verdictCache) get(key fingerprint) ([]sem.Detection, bool) {
 	return el.Value.(*cacheEntry).ds, true
 }
 
-// put records the verdict for a fingerprint, evicting the least
-// recently used entry when full.
-func (c *verdictCache) put(key fingerprint, ds []sem.Detection) {
+// put records the verdict for a fingerprint. A full cache evicts the
+// least recently used entry only when the doorkeeper estimates the
+// newcomer is hotter; otherwise the newcomer is rejected.
+func (c *verdictCache) put(key core.Fingerprint, ds []sem.Detection) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -75,12 +74,16 @@ func (c *verdictCache) put(key fingerprint, ds []sem.Detection) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ds: ds})
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	if c.ll.Len() >= c.cap {
+		victim := c.ll.Back()
+		if c.admit.estimate(key.A) <= c.admit.estimate(victim.Value.(*cacheEntry).key.A) {
+			c.rejected++
+			return
+		}
+		c.ll.Remove(victim)
+		delete(c.entries, victim.Value.(*cacheEntry).key)
 	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ds: ds})
 }
 
 // len reports the current entry count.
@@ -88,4 +91,11 @@ func (c *verdictCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// rejects reports how many inserts the admission policy refused.
+func (c *verdictCache) rejects() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejected
 }

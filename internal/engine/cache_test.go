@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"semnids/internal/classify"
+	"semnids/internal/core"
+	"semnids/internal/exploits"
+	"semnids/internal/sem"
+	"semnids/internal/traffic"
+)
+
+// TestCacheAdmissionScanChurn is the TinyLFU doorkeeper's reason to
+// exist: a hot fingerprint (a worm payload seen constantly) must
+// survive a scan spraying one-shot payloads through a full cache.
+// Without admission, capacity+1 distinct one-shots would evict it.
+func TestCacheAdmissionScanChurn(t *testing.T) {
+	const capacity = 32
+	c := newVerdictCache(capacity)
+
+	hot := core.FingerprintOf([]byte("worm payload"))
+	verdict := []sem.Detection{{Template: "code-red-ii", Severity: "high"}}
+
+	// Establish the hot entry and its popularity.
+	c.get(hot)
+	c.put(hot, verdict)
+	for i := 0; i < 64; i++ {
+		if _, ok := c.get(hot); !ok {
+			t.Fatal("hot entry lost while cache not yet full")
+		}
+	}
+
+	// The scan: 100x capacity distinct payloads, each seen exactly
+	// once — miss, analyze, insert attempt — while the worm keeps
+	// delivering its (hot) payload in between.
+	for i := 0; i < 100*capacity; i++ {
+		oneShot := core.FingerprintOf([]byte(fmt.Sprintf("scan-%d", i)))
+		if _, ok := c.get(oneShot); ok {
+			t.Fatalf("one-shot %d reported cached", i)
+		}
+		c.put(oneShot, nil)
+		if i%8 == 0 {
+			if _, ok := c.get(hot); !ok {
+				t.Fatalf("scan churned the hot fingerprint out after %d one-shots", i)
+			}
+		}
+	}
+
+	if _, ok := c.get(hot); !ok {
+		t.Fatal("scan churned the hot fingerprint out of the cache")
+	}
+	if c.rejects() == 0 {
+		t.Fatal("admission policy never rejected a one-shot insert")
+	}
+	if n := c.len(); n > capacity {
+		t.Fatalf("cache size %d exceeds capacity %d", n, capacity)
+	}
+}
+
+// TestCacheAdmissionLearnsNewHot checks admission is a filter, not a
+// wall: a payload that keeps coming back accumulates sketch frequency
+// and is eventually admitted over a cold victim.
+func TestCacheAdmissionLearnsNewHot(t *testing.T) {
+	const capacity = 16
+	c := newVerdictCache(capacity)
+	for i := 0; i < capacity; i++ {
+		cold := core.FingerprintOf([]byte(fmt.Sprintf("cold-%d", i)))
+		c.get(cold)
+		c.put(cold, nil)
+	}
+	newcomer := core.FingerprintOf([]byte("rising worm"))
+	admitted := false
+	for i := 0; i < 32 && !admitted; i++ {
+		if _, ok := c.get(newcomer); ok {
+			admitted = true
+			break
+		}
+		c.put(newcomer, nil)
+	}
+	if !admitted {
+		t.Fatal("repeatedly seen payload was never admitted")
+	}
+}
+
+// TestEventTap checks the shard hot path publishes the typed event
+// feed the correlator consumes: flow opens for scans, fingerprint
+// observations for analyzed frames, and alerts carrying the matched
+// frame's fingerprint.
+func TestEventTap(t *testing.T) {
+	var events []core.Event
+	done := make(chan struct{})
+	evCh := make(chan core.Event, 1024)
+	go func() {
+		defer close(done)
+		for ev := range evCh {
+			events = append(events, ev)
+		}
+	}()
+
+	e := New(Config{
+		Classify: testClassify(),
+		Shards:   2,
+		OnEvent:  func(ev core.Event) { evCh <- ev },
+	})
+	g := traffic.NewGen(3)
+	attacker := netip.MustParseAddr("10.1.2.3")
+	for _, p := range g.ScanThenExploit(attacker, traffic.WebServer, 80, exploits.CodeRedIIRequest(), 4) {
+		e.Process(p)
+	}
+	e.Stop()
+	close(evCh)
+	<-done
+
+	var opens, fps, alerts int
+	var alertFP core.Fingerprint
+	fpSeen := map[core.Fingerprint]bool{}
+	for _, ev := range events {
+		if ev.Src != attacker {
+			continue
+		}
+		switch ev.Kind {
+		case core.EventFlowOpen:
+			opens++
+		case core.EventFingerprint:
+			fps++
+			fpSeen[ev.Fingerprint] = true
+		case core.EventAlert:
+			alerts++
+			alertFP = ev.Fingerprint
+		}
+	}
+	// Probes 3 and 4 of the scan are selected (threshold 3), plus the
+	// delivery flow: at least 3 distinct flow opens.
+	if opens < 3 {
+		t.Errorf("flow-open events = %d, want >= 3", opens)
+	}
+	if alerts == 0 {
+		t.Fatal("no alert events")
+	}
+	if alertFP.IsZero() {
+		t.Error("alert event carries no fingerprint")
+	}
+	if fps == 0 {
+		t.Fatal("no fingerprint events")
+	}
+	if !fpSeen[alertFP] {
+		t.Error("alert fingerprint never appeared as a fingerprint event")
+	}
+}
+
+// TestEWMAAndQueueGauges checks the per-shard load gauges surface.
+func TestEWMAAndQueueGauges(t *testing.T) {
+	e := New(Config{
+		Classify:       classify.Config{Disabled: true},
+		Shards:         2,
+		TickIntervalUS: 1e4,
+	})
+	defer e.Stop()
+	g := traffic.NewGen(5)
+	for i := 0; i < 400; i++ {
+		for _, p := range g.BenignSession() {
+			e.Process(p)
+		}
+	}
+	e.Drain()
+	m := e.Snapshot()
+	if len(m.Shards) != 2 {
+		t.Fatalf("shard gauges = %d, want 2", len(m.Shards))
+	}
+	sawRate := false
+	for i, sh := range m.Shards {
+		if sh.QueueCap == 0 {
+			t.Errorf("shard %d queue capacity gauge is zero", i)
+		}
+		if sh.PacketsPerSec > 0 {
+			sawRate = true
+		}
+	}
+	if !sawRate {
+		t.Error("no shard reported a nonzero EWMA packets/sec")
+	}
+}

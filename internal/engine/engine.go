@@ -24,6 +24,7 @@
 package engine
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -101,6 +102,15 @@ type Config struct {
 	// OnAlert, when non-nil, is invoked synchronously for each alert
 	// (from shard goroutines).
 	OnAlert func(core.Alert)
+
+	// OnEvent, when non-nil, taps the shard hot path: flow opens,
+	// alerts (with payload fingerprints), per-frame fingerprint
+	// observations and flow evictions are published as typed events —
+	// the feed the incident correlator consumes. Events are plain
+	// values; a nil tap costs a single branch and no allocation.
+	// Invoked from shard goroutines; alert/fingerprint events carry
+	// fingerprints even when the verdict cache is disabled.
+	OnEvent func(core.Event)
 }
 
 // Metrics is a snapshot of engine counters and gauges.
@@ -121,11 +131,33 @@ type Metrics struct {
 	// evicted flows' unanalyzed tails were analyzed first).
 	FlowsEvictedIdle, FlowsEvictedLRU uint64
 
+	// CacheRejected counts inserts the verdict cache's TinyLFU
+	// admission policy refused (one-shot payloads kept from churning
+	// hot entries).
+	CacheRejected uint64
+
 	// FlowsActive and BufferedBytes are gauges summed over shards;
 	// CacheEntries is the verdict cache's current size.
 	FlowsActive   int
 	BufferedBytes int
 	CacheEntries  int
+
+	// Shards holds per-shard load gauges, indexed by shard id — the
+	// overload early-warning: queue depth climbing toward capacity
+	// (or EWMA throughput flattening) is visible before Dropped
+	// increments.
+	Shards []ShardMetrics
+}
+
+// ShardMetrics is one shard's load view.
+type ShardMetrics struct {
+	// QueueLen and QueueCap describe the shard's bounded input queue.
+	QueueLen, QueueCap int
+
+	// PacketsPerSec is an exponentially-weighted moving average of the
+	// shard's processing rate in trace time, updated at each lifecycle
+	// tick.
+	PacketsPerSec float64
 }
 
 // Engine is a running streaming detector. Feed packets with Process
@@ -319,12 +351,19 @@ func (e *Engine) Snapshot() Metrics {
 		FlowsEvictedIdle: e.m.evictedIdle.Load(),
 		FlowsEvictedLRU:  e.m.evictedLRU.Load(),
 	}
-	for _, s := range e.shards {
+	m.Shards = make([]ShardMetrics, len(e.shards))
+	for i, s := range e.shards {
 		m.FlowsActive += int(s.flows.Load())
 		m.BufferedBytes += int(s.bytes.Load())
+		m.Shards[i] = ShardMetrics{
+			QueueLen:      len(s.in),
+			QueueCap:      cap(s.in),
+			PacketsPerSec: math.Float64frombits(s.ewmaPPS.Load()),
+		}
 	}
 	if e.cache != nil {
 		m.CacheEntries = e.cache.len()
+		m.CacheRejected = e.cache.rejects()
 	}
 	return m
 }

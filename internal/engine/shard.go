@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -55,9 +56,14 @@ type shard struct {
 	maxTS    uint64 // highest trace timestamp seen by this shard
 	lastTick uint64
 
+	// tickPackets counts packets handled since the last tick, feeding
+	// the EWMA throughput gauge.
+	tickPackets uint64
+
 	// Gauges published for Snapshot (read from other goroutines).
-	flows atomic.Int64
-	bytes atomic.Int64
+	flows   atomic.Int64
+	bytes   atomic.Int64
+	ewmaPPS atomic.Uint64 // math.Float64bits of trace-time packets/sec
 }
 
 func newShard(e *Engine, id int) *shard {
@@ -81,6 +87,13 @@ func newShard(e *Engine, id int) *shard {
 		}
 		delete(s.lastAnalyzed, st.Key)
 		delete(s.meta, st.Key)
+		if tap := e.cfg.OnEvent; tap != nil {
+			tap(core.Event{
+				Kind: core.EventFlowEvict, TimestampUS: s.maxTS,
+				Src: st.Key.SrcIP, Dst: st.Key.DstIP,
+				SrcPort: st.Key.SrcPort, DstPort: st.Key.DstPort,
+			})
+		}
 	})
 	return s
 }
@@ -109,20 +122,36 @@ func (s *shard) handle(p *netpkt.Packet, reason classify.Reason) {
 	if p.TimestampUS > s.maxTS {
 		s.maxTS = p.TimestampUS
 	}
+	s.tickPackets++
 	defer s.maybeTick()
 
 	if !p.HasTCP {
 		if len(p.Payload) > 0 {
+			// Datagrams have no tracked lifecycle: each one stands for
+			// its flow in the correlator's fan-out evidence (which
+			// deduplicates by destination).
+			s.tapFlowOpen(p.Flow(), p.TimestampUS)
 			s.analyze(p.Payload, p.Flow(), reason, p.TimestampUS)
 		}
 		return
 	}
 
 	flow := p.Flow()
+	if s.eng.cfg.OnEvent != nil {
+		if _, tracked := s.meta[flow]; !tracked {
+			s.tapFlowOpen(flow, p.TimestampUS)
+		}
+	}
 	s.meta[flow] = flowInfo{reason: reason, ts: p.TimestampUS}
 	stream := s.asm.Feed(p)
 	if stream == nil {
 		return
+	}
+	if stream.Rewritten {
+		// A LastWins retransmission changed already-analyzed bytes:
+		// the analyzed-prefix watermark no longer describes the
+		// stream's content, so analysis must start over.
+		delete(s.lastAnalyzed, flow)
 	}
 	if core.ShouldAnalyze(stream.Finished, len(stream.Data), s.lastAnalyzed[flow], s.eng.cfg.MinAnalyzeBytes) {
 		s.lastAnalyzed[flow] = len(stream.Data)
@@ -145,6 +174,7 @@ func (s *shard) maybeTick() {
 	if s.maxTS-s.lastTick < cfg.TickIntervalUS {
 		return
 	}
+	s.updateEWMA(s.maxTS - s.lastTick)
 	s.lastTick = s.maxTS
 	if s.maxTS > cfg.FlowIdleTimeoutUS {
 		n := s.asm.EvictIdle(s.maxTS - cfg.FlowIdleTimeoutUS)
@@ -152,6 +182,33 @@ func (s *shard) maybeTick() {
 	}
 	n := s.asm.EvictLRUUntil(cfg.ShardByteBudget)
 	s.eng.m.evictedLRU.Add(uint64(n))
+}
+
+// updateEWMA folds the packets handled over the elapsed trace time
+// into the shard's smoothed packets/sec gauge.
+func (s *shard) updateEWMA(elapsedUS uint64) {
+	if elapsedUS == 0 {
+		return
+	}
+	rate := float64(s.tickPackets) * 1e6 / float64(elapsedUS)
+	s.tickPackets = 0
+	const alpha = 0.3
+	prev := math.Float64frombits(s.ewmaPPS.Load())
+	if prev == 0 {
+		prev = rate
+	}
+	s.ewmaPPS.Store(math.Float64bits(alpha*rate + (1-alpha)*prev))
+}
+
+// tapFlowOpen publishes a flow-open event when a tap is attached.
+func (s *shard) tapFlowOpen(flow netpkt.FlowKey, ts uint64) {
+	if tap := s.eng.cfg.OnEvent; tap != nil {
+		tap(core.Event{
+			Kind: core.EventFlowOpen, TimestampUS: ts,
+			Src: flow.SrcIP, Dst: flow.DstIP,
+			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+		})
+	}
 }
 
 // flushFlows analyzes the unanalyzed tail of every tracked flow and
@@ -187,14 +244,22 @@ func (s *shard) analyze(data []byte, flow netpkt.FlowKey, reason classify.Reason
 }
 
 // analyzeFrame resolves one extracted frame's verdict — through the
-// fingerprint cache when enabled — and emits any detections.
+// fingerprint cache when enabled — and emits any detections. The
+// frame's fingerprint is computed whenever the cache or an event tap
+// needs it, and published as a fingerprint event on every resolution
+// (hit and miss alike, so the correlator's view does not depend on
+// cache state).
 func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64) {
 	e := s.eng
 	e.m.frames.Add(1)
 	e.m.frameBytes.Add(uint64(len(f.Data)))
+	tap := e.cfg.OnEvent
+	var fp core.Fingerprint
+	if e.cache != nil || tap != nil {
+		fp = fingerprintOf(f.Data)
+	}
 	var ds []sem.Detection
 	if e.cache != nil {
-		fp := fingerprintOf(f.Data)
 		if cached, ok := e.cache.get(fp); ok {
 			e.m.cacheHits.Add(1)
 			ds = cached
@@ -206,14 +271,22 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 	} else {
 		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.DecodeCache())
 	}
+	if tap != nil {
+		tap(core.Event{
+			Kind: core.EventFingerprint, TimestampUS: ts,
+			Src: flow.SrcIP, Dst: flow.DstIP,
+			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+			Fingerprint: fp,
+		})
+	}
 	for _, d := range ds {
-		s.emit(f, flow, reason, ts, d)
+		s.emit(f, flow, reason, ts, fp, d)
 	}
 }
 
 // emit records one detection, deduplicated per (flow, template). The
 // dedup map is shard-local: a flow is always handled by one shard.
-func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64, d sem.Detection) {
+func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64, fp core.Fingerprint, d sem.Detection) {
 	key := alertKey{flow: flow, template: d.Template}
 	if s.seen[key] {
 		return
@@ -234,6 +307,16 @@ func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reaso
 	e.m.alerts.Add(1)
 	// Follow-on traffic from a confirmed attacker is always analyzed.
 	e.classifier.MarkSuspicious(flow.SrcIP, ts)
+	if tap := e.cfg.OnEvent; tap != nil {
+		tap(core.Event{
+			Kind: core.EventAlert, TimestampUS: ts,
+			Src: flow.SrcIP, Dst: flow.DstIP,
+			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+			Fingerprint: fp,
+			Template:    d.Template,
+			Severity:    d.Severity,
+		})
+	}
 	if e.cfg.OnAlert != nil {
 		e.cfg.OnAlert(a)
 	}

@@ -1,0 +1,88 @@
+package engine
+
+// cmSketch is a 4-bit count-min sketch: the frequency estimator behind
+// the verdict cache's TinyLFU-style admission policy. Four rows of
+// nibble counters are addressed by independent mixes of a 64-bit key
+// hash; an item's estimate is the minimum over its four counters
+// (over-counting from collisions is bounded, under-counting is
+// impossible). Counters saturate at 15, and once the total number of
+// increments reaches the sample size every counter is halved — the
+// "reset" that ages out stale popularity so yesterday's hot payload
+// cannot squat in the cache forever.
+type cmSketch struct {
+	counters []byte // two 4-bit counters per byte, rows concatenated
+	mask     uint64 // row slot count - 1 (power of two)
+	rowLen   int    // bytes per row
+	adds     int    // increments since the last reset
+	sample   int    // increments that trigger a halving reset
+}
+
+// sketchRows is the number of independent hash rows.
+const sketchRows = 4
+
+// seeds mix the key hash differently per row (odd constants, as in
+// multiply-shift hashing).
+var sketchSeeds = [sketchRows]uint64{
+	0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9, 0xd6e8feb86659fd93,
+}
+
+// newCMSketch sizes the sketch for a cache of the given capacity:
+// eight counters per cached entry (rounded up to a power of two per
+// row) and a sample of ten observations per entry.
+func newCMSketch(capacity int) *cmSketch {
+	slots := 1
+	for slots < capacity*8 {
+		slots <<= 1
+	}
+	return &cmSketch{
+		counters: make([]byte, slots/2*sketchRows),
+		mask:     uint64(slots - 1),
+		rowLen:   slots / 2,
+		sample:   capacity * 10,
+	}
+}
+
+// slot returns the byte index and nibble shift for key in row.
+func (s *cmSketch) slot(row int, h uint64) (int, uint) {
+	mixed := (h ^ sketchSeeds[row]) * sketchSeeds[row]
+	idx := (mixed >> 16) & s.mask
+	return row*s.rowLen + int(idx>>1), uint(idx&1) * 4
+}
+
+// inc bumps the key's counter in every row, halving all counters when
+// the sample window is exhausted.
+func (s *cmSketch) inc(h uint64) {
+	for row := 0; row < sketchRows; row++ {
+		i, shift := s.slot(row, h)
+		if v := (s.counters[i] >> shift) & 0xf; v < 15 {
+			s.counters[i] += 1 << shift
+		}
+	}
+	s.adds++
+	if s.adds >= s.sample {
+		s.reset()
+	}
+}
+
+// estimate returns the key's frequency estimate: the minimum counter
+// across rows.
+func (s *cmSketch) estimate(h uint64) uint8 {
+	min := uint8(15)
+	for row := 0; row < sketchRows; row++ {
+		i, shift := s.slot(row, h)
+		if v := (s.counters[i] >> shift) & 0xf; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// reset halves every counter, aging the frequency sample.
+func (s *cmSketch) reset() {
+	s.adds /= 2
+	for i := range s.counters {
+		// Halve both nibbles in place: clear the bit that would shift
+		// between them, then shift the whole byte.
+		s.counters[i] = (s.counters[i] >> 1) & 0x77
+	}
+}

@@ -1,0 +1,321 @@
+// Package incident is the streaming cross-shard incident correlation
+// subsystem: the fourth pipeline stage, after classification,
+// extraction and semantic analysis. The engine's shards publish typed
+// events (core.Event) over a bounded channel to a single correlator
+// goroutine that maintains one state machine per source address,
+// advancing through the kill-chain stages of the paper's operational
+// story ("further action may be taken against the offending IP
+// address"):
+//
+//	RECON        destination fan-out above a threshold inside a
+//	             sliding trace-time window (the scan that precedes
+//	             infection);
+//	EXPLOIT      a semantic-analysis alert attributed to the source;
+//	PROPAGATION  a destination this source attacked begins emitting a
+//	             payload with the same 128-bit fingerprint — the worm
+//	             has jumped hosts.
+//
+// Shard events interleave nondeterministically, so incident content is
+// never derived from arrival order: each source accumulates bounded,
+// order-independent evidence sets (minimum-timestamp-K caps, which are
+// commutative), and stages plus their transition times are *derived*
+// from the evidence. The same trace therefore yields byte-identical
+// incidents whatever the shard count. Per-source state is strictly
+// bounded: evidence sets are capped, the source table is capped with
+// LRU eviction, and idle sources are swept on a trace-time clock.
+package incident
+
+import (
+	"container/list"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"semnids/internal/core"
+)
+
+// Stage is a kill-chain position. Stages are cumulative evidence
+// levels, not strict prerequisites: an exploit with no preceding scan
+// is at EXPLOIT having skipped RECON.
+type Stage uint8
+
+const (
+	StageNone Stage = iota
+	StageRecon
+	StageExploit
+	StagePropagation
+)
+
+// String names the stage for rendering and serialization.
+func (s Stage) String() string {
+	switch s {
+	case StageRecon:
+		return "RECON"
+	case StageExploit:
+		return "EXPLOIT"
+	case StagePropagation:
+		return "PROPAGATION"
+	}
+	return "NONE"
+}
+
+// Transition records when a stage's evidence threshold was crossed,
+// in trace time derived from the evidence itself (not event arrival).
+type Transition struct {
+	Stage Stage
+	AtUS  uint64
+}
+
+// Incident is one source's correlated activity, rendered from its
+// evidence at snapshot time.
+type Incident struct {
+	Src      netip.Addr
+	Stage    Stage
+	Severity string
+
+	// FirstUS/LastUS span the source's evidence in trace time.
+	FirstUS, LastUS uint64
+
+	// Destinations is the distinct destination count retained in the
+	// fan-out evidence; Alerts counts alert events attributed to the
+	// source.
+	Destinations int
+	Alerts       int
+
+	// Templates lists matched behaviors (sorted, deduplicated).
+	Templates []string
+
+	// Victims lists destinations that re-emitted an attack payload of
+	// this source (sorted; non-empty exactly when Stage is
+	// PROPAGATION).
+	Victims []string
+
+	// Transitions holds the derived stage history in stage order.
+	Transitions []Transition
+}
+
+// String renders a one-line operator view.
+func (inc Incident) String() string {
+	return fmt.Sprintf("[%d.%06d] %s %s %s alerts=%d dests=%d %s",
+		inc.LastUS/1e6, inc.LastUS%1e6, inc.Src, inc.Stage, inc.Severity,
+		inc.Alerts, inc.Destinations, strings.Join(inc.Templates, ","))
+}
+
+// severityRank aliases the pipeline-wide ranking (core.SeverityRank).
+var severityRank = core.SeverityRank
+
+// attackRef links a victim's received payload back to the attacker.
+type attackRef struct {
+	attacker netip.Addr
+	tsUS     uint64
+}
+
+// sourceState is the per-source evidence accumulator. Every set is
+// capped and every cap keeps the minimum-timestamp entries, so the
+// retained evidence is a deterministic function of the event *set*,
+// independent of arrival order.
+type sourceState struct {
+	src netip.Addr
+
+	// firstUS/lastUS span content-bearing evidence (flow-open, alert,
+	// fingerprint); lastSeenUS additionally counts bookkeeping events
+	// and drives idle eviction.
+	firstUS, lastUS uint64
+	lastSeenUS      uint64
+
+	// dests: destination -> earliest contact, for fan-out (RECON).
+	dests minKSet[netip.Addr]
+
+	// Alert evidence (EXPLOIT).
+	alerts    int
+	exploitAt uint64 // earliest alert, 0 = none
+	severity  string
+	templates map[string]bool
+
+	// Propagation evidence, this source as victim: which fingerprints
+	// it was attacked with, and which it has itself emitted.
+	targetedBy map[core.Fingerprint][]attackRef
+	emitted    minKSet[core.Fingerprint] // fingerprint -> earliest emission
+
+	// Propagation result, this source as attacker.
+	propagationAt uint64
+	victims       minKSet[netip.Addr] // victim -> earliest echo
+
+	// notified is the highest stage already delivered to OnIncident
+	// and subscribers.
+	notified Stage
+
+	// elem positions the source in the correlator's recency list.
+	elem *list.Element
+}
+
+// touchContent folds a content-bearing event timestamp into the span.
+func (s *sourceState) touchContent(ts uint64) {
+	if s.firstUS == 0 || ts < s.firstUS {
+		s.firstUS = ts
+	}
+	if ts > s.lastUS {
+		s.lastUS = ts
+	}
+}
+
+// span is one evidence key's observation window in trace time.
+type span struct {
+	first, last uint64
+}
+
+// minKSet is a bounded key -> observation-span set retaining the K
+// entries with the smallest first-seen timestamps under the
+// (timestamp, key-rendering) total order. Existing keys fold new
+// observations into their span (earliest first, latest last); a new
+// key is admitted only by displacing the entry that sorts last.
+// Because the order is total — timestamp ties are broken by key — the
+// retained set and, below the cap, every span depend only on the
+// (key, ts) multiset, never on insertion order. A cached maximum
+// makes the common saturated case O(1): a scanner producing ever-newer
+// evidence against a full set is turned away without scanning the map.
+type minKSet[K comparable] struct {
+	m        map[K]span
+	maxKey   K
+	maxTS    uint64
+	maxValid bool
+}
+
+func newMinKSet[K comparable]() minKSet[K] { return minKSet[K]{m: make(map[K]span)} }
+
+func (s *minKSet[K]) len() int { return len(s.m) }
+
+func (s *minKSet[K]) get(key K) (span, bool) {
+	sp, ok := s.m[key]
+	return sp, ok
+}
+
+func (s *minKSet[K]) put(key K, ts uint64, cap int) {
+	if sp, ok := s.m[key]; ok {
+		if ts < sp.first {
+			sp.first = ts
+			if s.maxValid && key == s.maxKey {
+				s.maxValid = false
+			}
+		}
+		if ts > sp.last {
+			sp.last = ts
+		}
+		s.m[key] = sp
+		return
+	}
+	if len(s.m) < cap {
+		s.m[key] = span{first: ts, last: ts}
+		s.maxValid = false
+		return
+	}
+	if !s.maxValid {
+		s.recomputeMax()
+	}
+	if ts > s.maxTS || (ts == s.maxTS && !evictBefore(s.maxKey, key)) {
+		return // sorts after the current maximum: rejected without a scan
+	}
+	delete(s.m, s.maxKey)
+	s.m[key] = span{first: ts, last: ts}
+	s.maxValid = false
+}
+
+func (s *minKSet[K]) recomputeMax() {
+	first := true
+	for k, sp := range s.m {
+		if first || sp.first > s.maxTS || (sp.first == s.maxTS && evictBefore(k, s.maxKey)) {
+			s.maxKey, s.maxTS, first = k, sp.first, false
+		}
+	}
+	s.maxValid = !first
+}
+
+// evictBefore orders equal-timestamp evidence keys deterministically
+// so cap displacement breaks ties identically across runs and shard
+// counts (the key with the larger rendering is displaced first).
+func evictBefore[K comparable](a, b K) bool { return fmt.Sprint(a) > fmt.Sprint(b) }
+
+// reconAt derives the earliest trace time at which the source's
+// distinct-destination fan-out reached threshold inside a sliding
+// window, or 0 if it never did.
+func (s *sourceState) reconAt(windowUS uint64, threshold int) uint64 {
+	if threshold <= 0 || s.dests.len() < threshold {
+		return 0
+	}
+	ts := make([]uint64, 0, s.dests.len())
+	for _, sp := range s.dests.m {
+		ts = append(ts, sp.first)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	// Each destination contributes its first contact; the window
+	// [ts[i]-window, ts[i]] holds the fan-out count ending at ts[i].
+	lo := 0
+	for i := range ts {
+		for ts[i]-ts[lo] > windowUS {
+			lo++
+		}
+		if i-lo+1 >= threshold {
+			return ts[i]
+		}
+	}
+	return 0
+}
+
+// derive renders the source's evidence as an Incident.
+func (s *sourceState) derive(windowUS uint64, threshold int) Incident {
+	inc := Incident{
+		Src:          s.src,
+		FirstUS:      s.firstUS,
+		LastUS:       s.lastUS,
+		Destinations: s.dests.len(),
+		Alerts:       s.alerts,
+		Severity:     s.severity,
+	}
+	for t := range s.templates {
+		inc.Templates = append(inc.Templates, t)
+	}
+	sort.Strings(inc.Templates)
+
+	if at := s.reconAt(windowUS, threshold); at > 0 {
+		inc.Stage = StageRecon
+		inc.Transitions = append(inc.Transitions, Transition{StageRecon, at})
+		if severityRank[inc.Severity] < severityRank["low"] {
+			inc.Severity = "low"
+		}
+	}
+	if s.exploitAt > 0 {
+		inc.Stage = StageExploit
+		inc.Transitions = append(inc.Transitions, Transition{StageExploit, s.exploitAt})
+	}
+	if s.propagationAt > 0 {
+		inc.Stage = StagePropagation
+		inc.Transitions = append(inc.Transitions, Transition{StagePropagation, s.propagationAt})
+		// The propagation instant is proved by the victim's traffic,
+		// which may postdate the attacker's own last activity.
+		if s.propagationAt > inc.LastUS {
+			inc.LastUS = s.propagationAt
+		}
+		// A payload observed jumping hosts is the worst outcome the
+		// correlator can prove; escalate past any per-alert severity.
+		inc.Severity = "critical"
+		for v := range s.victims.m {
+			inc.Victims = append(inc.Victims, v.String())
+		}
+		sort.Strings(inc.Victims)
+	}
+	return inc
+}
+
+// stage is the derived stage without rendering the full incident.
+func (s *sourceState) stage(windowUS uint64, threshold int) Stage {
+	switch {
+	case s.propagationAt > 0:
+		return StagePropagation
+	case s.exploitAt > 0:
+		return StageExploit
+	case s.reconAt(windowUS, threshold) > 0:
+		return StageRecon
+	}
+	return StageNone
+}

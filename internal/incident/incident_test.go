@@ -1,0 +1,301 @@
+package incident
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"semnids/internal/core"
+)
+
+var (
+	attacker = netip.MustParseAddr("10.0.0.1")
+	victim   = netip.MustParseAddr("172.16.0.1")
+	next     = netip.MustParseAddr("172.16.0.2")
+)
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{192, 168, byte(i >> 8), byte(i)})
+}
+
+func flowOpen(src, dst netip.Addr, ts uint64) core.Event {
+	return core.Event{Kind: core.EventFlowOpen, TimestampUS: ts, Src: src, Dst: dst, SrcPort: 1234, DstPort: 80}
+}
+
+func alert(src, dst netip.Addr, ts uint64, fp core.Fingerprint) core.Event {
+	return core.Event{
+		Kind: core.EventAlert, TimestampUS: ts, Src: src, Dst: dst,
+		SrcPort: 1234, DstPort: 80, Fingerprint: fp,
+		Template: "code-red-ii", Severity: "high",
+	}
+}
+
+func emission(src, dst netip.Addr, ts uint64, fp core.Fingerprint) core.Event {
+	return core.Event{
+		Kind: core.EventFingerprint, TimestampUS: ts, Src: src, Dst: dst,
+		SrcPort: 4321, DstPort: 80, Fingerprint: fp,
+	}
+}
+
+// find returns the incident for src, failing the test if absent.
+func find(t *testing.T, incs []Incident, src netip.Addr) Incident {
+	t.Helper()
+	for _, inc := range incs {
+		if inc.Src == src {
+			return inc
+		}
+	}
+	t.Fatalf("no incident for %s in %v", src, incs)
+	return Incident{}
+}
+
+// TestKillChain drives one source through all three stages and checks
+// the derived incident: stage, transition times, severity escalation
+// and the propagation victim.
+func TestKillChain(t *testing.T) {
+	c := New(Config{WindowUS: 10e6, FanoutThreshold: 3})
+	defer c.Stop()
+
+	fp := core.FingerprintOf([]byte("worm payload"))
+	// Fan-out: three destinations inside the window -> RECON at the
+	// third contact.
+	c.Publish(flowOpen(attacker, addr(1), 1000))
+	c.Publish(flowOpen(attacker, addr(2), 2000))
+	c.Publish(flowOpen(attacker, addr(3), 3000))
+	// Exploit delivery.
+	c.Publish(alert(attacker, victim, 5000, fp))
+	// The victim re-emits the payload later: propagation.
+	c.Publish(emission(victim, next, 9000, fp))
+	c.Flush()
+
+	inc := find(t, c.Incidents(), attacker)
+	if inc.Stage != StagePropagation {
+		t.Fatalf("stage = %v, want PROPAGATION", inc.Stage)
+	}
+	want := []Transition{{StageRecon, 3000}, {StageExploit, 5000}, {StagePropagation, 9000}}
+	if len(inc.Transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", inc.Transitions, want)
+	}
+	for i := range want {
+		if inc.Transitions[i] != want[i] {
+			t.Errorf("transition[%d] = %v, want %v", i, inc.Transitions[i], want[i])
+		}
+	}
+	if inc.Severity != "critical" {
+		t.Errorf("severity = %q, want critical (propagation escalates)", inc.Severity)
+	}
+	if len(inc.Victims) != 1 || inc.Victims[0] != victim.String() {
+		t.Errorf("victims = %v, want [%s]", inc.Victims, victim)
+	}
+	if inc.Alerts != 1 || inc.Templates[0] != "code-red-ii" {
+		t.Errorf("alerts/templates = %d/%v", inc.Alerts, inc.Templates)
+	}
+}
+
+// TestOrderIndependence applies the same event set in opposite orders
+// — including the propagation echo arriving before the alert that
+// explains it, as cross-shard interleaving can deliver — and demands
+// identical derived incidents.
+func TestOrderIndependence(t *testing.T) {
+	fp := core.FingerprintOf([]byte("payload"))
+	events := []core.Event{
+		flowOpen(attacker, addr(1), 1000),
+		flowOpen(attacker, addr(2), 2000),
+		flowOpen(attacker, addr(3), 3000),
+		alert(attacker, victim, 5000, fp),
+		emission(victim, next, 9000, fp),
+	}
+
+	render := func(order []core.Event) string {
+		c := New(Config{WindowUS: 10e6, FanoutThreshold: 3})
+		defer c.Stop()
+		for _, ev := range order {
+			c.Publish(ev)
+		}
+		c.Flush()
+		return fmt.Sprint(c.Incidents())
+	}
+
+	forward := render(events)
+	reversed := make([]core.Event, len(events))
+	for i, ev := range events {
+		reversed[len(events)-1-i] = ev
+	}
+	backward := render(reversed)
+	if forward != backward {
+		t.Fatalf("incident set depends on event order:\n forward: %s\nbackward: %s", forward, backward)
+	}
+	if forward == "[]" {
+		t.Fatal("no incidents derived")
+	}
+}
+
+// TestPropagationStraddlingEmissions covers the cross-infection edge:
+// the victim was already emitting the payload when a second attacker
+// hit it (emissions at t=5 and t=15 straddle the t=10 alert). Every
+// arrival order must converge on the same verdict — the attacker
+// propagates, with the canonical echo just after its own delivery.
+func TestPropagationStraddlingEmissions(t *testing.T) {
+	fp := core.FingerprintOf([]byte("worm"))
+	events := []core.Event{
+		emission(victim, next, 5, fp),
+		alert(attacker, victim, 10, fp),
+		emission(victim, next, 15, fp),
+	}
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {0, 2, 1}, {1, 0, 2}, {2, 0, 1}, {1, 2, 0}}
+	var want string
+	for i, order := range orders {
+		c := New(Config{WindowUS: 10e6, FanoutThreshold: 3})
+		for _, idx := range order {
+			c.Publish(events[idx])
+		}
+		c.Flush()
+		inc := find(t, c.Incidents(), attacker)
+		c.Stop()
+		if inc.Stage != StagePropagation {
+			t.Fatalf("order %v: stage = %v, want PROPAGATION", order, inc.Stage)
+		}
+		got := fmt.Sprint(inc)
+		if i == 0 {
+			want = got
+			// The victim emitted before and after the attack: the
+			// canonical echo is just after the delivery.
+			if at := inc.Transitions[len(inc.Transitions)-1].AtUS; at != 11 {
+				t.Fatalf("echo time = %d, want 11", at)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("order %v diverged:\n got: %s\nwant: %s", order, got, want)
+		}
+	}
+}
+
+// TestFanoutWindow checks RECON requires the fan-out inside one
+// sliding window: the same three destinations spread wider stay NONE.
+func TestFanoutWindow(t *testing.T) {
+	c := New(Config{WindowUS: 1e6, FanoutThreshold: 3})
+	defer c.Stop()
+	c.Publish(flowOpen(attacker, addr(1), 1000))
+	c.Publish(flowOpen(attacker, addr(2), 2e6))
+	c.Publish(flowOpen(attacker, addr(3), 4e6))
+	c.Flush()
+	if incs := c.Incidents(); len(incs) != 0 {
+		t.Fatalf("slow scan inside a 1s window produced incidents: %v", incs)
+	}
+}
+
+// TestSeverityFloor checks a recon-only incident carries the floor
+// severity and an exploit adopts its alert's.
+func TestSeverityFloor(t *testing.T) {
+	c := New(Config{WindowUS: 10e6, FanoutThreshold: 2})
+	defer c.Stop()
+	c.Publish(flowOpen(attacker, addr(1), 1000))
+	c.Publish(flowOpen(attacker, addr(2), 2000))
+	c.Flush()
+	if inc := find(t, c.Incidents(), attacker); inc.Severity != "low" || inc.Stage != StageRecon {
+		t.Fatalf("recon incident = %v, want low/RECON", inc)
+	}
+}
+
+// TestSourceLRUBound feeds more sources than MaxSources and checks
+// the tracked-state gauge stays at the cap with evictions counted.
+func TestSourceLRUBound(t *testing.T) {
+	const cap = 64
+	c := New(Config{MaxSources: cap})
+	defer c.Stop()
+	for i := 0; i < 10*cap; i++ {
+		c.Publish(flowOpen(addr(i), addr(20000+i), uint64(1000+i)))
+	}
+	c.Flush()
+	m := c.Metrics()
+	if m.SourcesTracked > cap {
+		t.Fatalf("tracked sources = %d, cap %d", m.SourcesTracked, cap)
+	}
+	if m.SourcesEvictedLRU == 0 {
+		t.Fatal("no LRU evictions despite 10x the source cap")
+	}
+}
+
+// TestIdleSweep advances trace time far past the idle timeout and
+// checks staged sources are finalized into the completed set while
+// their live state is released.
+func TestIdleSweep(t *testing.T) {
+	c := New(Config{WindowUS: 10e6, FanoutThreshold: 2, SourceIdleUS: 1e6})
+	defer c.Stop()
+	c.Publish(flowOpen(attacker, addr(1), 1000))
+	c.Publish(flowOpen(attacker, addr(2), 2000))
+	// Unrelated activity far in the future triggers the sweep.
+	c.Publish(flowOpen(victim, addr(3), 10e6))
+	c.Flush()
+	m := c.Metrics()
+	if m.SourcesEvictedIdle == 0 {
+		t.Fatal("idle sweep did not run")
+	}
+	// The staged incident survives finalization.
+	inc := find(t, c.Incidents(), attacker)
+	if inc.Stage != StageRecon {
+		t.Fatalf("finalized incident stage = %v, want RECON", inc.Stage)
+	}
+}
+
+// TestSubscribe checks stage transitions are delivered live, and that
+// a full subscriber buffer sheds instead of blocking correlation.
+func TestSubscribe(t *testing.T) {
+	c := New(Config{WindowUS: 10e6, FanoutThreshold: 2})
+	defer c.Stop()
+	ch, cancel := c.Subscribe(4)
+	defer cancel()
+
+	c.Publish(flowOpen(attacker, addr(1), 1000))
+	c.Publish(flowOpen(attacker, addr(2), 2000))
+	c.Publish(alert(attacker, victim, 5000, core.Fingerprint{}))
+	c.Flush()
+
+	first := <-ch
+	if first.Stage != StageRecon {
+		t.Fatalf("first delivery stage = %v, want RECON", first.Stage)
+	}
+	second := <-ch
+	if second.Stage != StageExploit {
+		t.Fatalf("second delivery stage = %v, want EXPLOIT", second.Stage)
+	}
+}
+
+// TestMinKSetDeterministic checks the evidence cap keeps the
+// minimum-timestamp entries whatever the insertion order, including
+// equal-timestamp ties (broken by key) and the cached-max rejection
+// path (repeated too-new inserts against a full set).
+func TestMinKSetDeterministic(t *testing.T) {
+	ins := [][2]int{{5, 50}, {1, 10}, {3, 30}, {2, 20}, {4, 40}}
+	for trial := 0; trial < len(ins); trial++ {
+		s := newMinKSet[netip.Addr]()
+		for i := range ins {
+			e := ins[(i+trial)%len(ins)]
+			s.put(addr(e[0]), uint64(e[1]), 3)
+		}
+		// Saturate the rejection fast path.
+		for i := 0; i < 10; i++ {
+			s.put(addr(100+i), 99, 3)
+		}
+		for _, want := range []int{1, 2, 3} {
+			if _, ok := s.get(addr(want)); !ok {
+				t.Fatalf("trial %d: min-3 set %v missing %v", trial, s.m, addr(want))
+			}
+		}
+	}
+
+	// Equal timestamps: retention must depend on the keys, not on
+	// which insert came first.
+	for _, order := range [][]int{{1, 2, 3, 4}, {4, 3, 2, 1}} {
+		s := newMinKSet[netip.Addr]()
+		for _, k := range order {
+			s.put(addr(k), 7, 3)
+		}
+		for _, want := range []int{1, 2, 3} {
+			if _, ok := s.get(addr(want)); !ok {
+				t.Fatalf("order %v: tie retention %v missing %v", order, s.m, addr(want))
+			}
+		}
+	}
+}

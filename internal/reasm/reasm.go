@@ -4,6 +4,7 @@
 package reasm
 
 import (
+	"bytes"
 	"sort"
 
 	"semnids/internal/netpkt"
@@ -21,6 +22,24 @@ const (
 	MaxGapSegments = 256
 )
 
+// OverlapPolicy selects which copy of a byte wins when segments
+// overlap — the knob behind Ptacek-Newsham inconsistent-retransmission
+// evasion. An attacker can send a byte range twice with different
+// content, betting the NIDS and the end host resolve the conflict
+// differently; the policy makes the NIDS's resolution explicit and
+// testable.
+type OverlapPolicy uint8
+
+const (
+	// FirstWins keeps the first copy of every byte (the default, and
+	// the historical behavior): later retransmissions cannot rewrite
+	// data already buffered.
+	FirstWins OverlapPolicy = iota
+	// LastWins lets a retransmission overwrite previously buffered
+	// bytes, matching stacks that favor the newest segment.
+	LastWins
+)
+
 type segment struct {
 	seq  uint32
 	data []byte
@@ -36,6 +55,7 @@ type stream struct {
 	pendBytes int       // total payload bytes buffered in pending
 	lastSeen  uint64    // timestamp of last activity
 	finished  bool
+	rewritten bool // LastWins changed already-buffered bytes since last report
 }
 
 // footprint is the stream's buffered-memory cost, used for the
@@ -47,12 +67,20 @@ type Stream struct {
 	Key      netpkt.FlowKey
 	Data     []byte
 	Finished bool
+
+	// Rewritten reports that a LastWins retransmission changed bytes
+	// that were already buffered (and possibly already analyzed):
+	// consumers tracking an analyzed-prefix watermark must reset it,
+	// or an inconsistent retransmission that swaps content without
+	// growing the stream would never be re-analyzed.
+	Rewritten bool
 }
 
 // Assembler reassembles many flows concurrently-fed from one goroutine.
 type Assembler struct {
-	flows map[netpkt.FlowKey]*stream
-	bytes int // sum of per-flow footprints
+	flows  map[netpkt.FlowKey]*stream
+	bytes  int // sum of per-flow footprints
+	policy OverlapPolicy
 
 	// onEvict, when set, is invoked for every flow the assembler drops
 	// on its own (capacity overflow, EvictIdle, EvictLRUUntil) — NOT
@@ -72,6 +100,10 @@ func New() *Assembler {
 // view of every flow the assembler evicts, so callers can analyze the
 // tail and release per-flow side state instead of silently losing it.
 func (a *Assembler) SetEvictHandler(h func(*Stream)) { a.onEvict = h }
+
+// SetOverlapPolicy selects the segment-overlap resolution. Call before
+// feeding; changing the policy mid-flow only affects future segments.
+func (a *Assembler) SetOverlapPolicy(p OverlapPolicy) { a.policy = p }
 
 // TotalBytes reports the bytes currently buffered across all flows
 // (contiguous data plus out-of-order segments).
@@ -121,31 +153,41 @@ func (a *Assembler) Feed(p *netpkt.Packet) *Stream {
 	}
 
 	before := st.footprint()
-	grew := st.insert(seq, p.Payload)
+	grew := st.insert(seq, p.Payload, a.policy)
 	a.bytes += st.footprint() - before
 	return a.result(st, grew)
 }
 
 func (a *Assembler) result(st *stream, grew bool) *Stream {
-	if !grew && !st.finished {
+	if !grew && !st.finished && !st.rewritten {
 		return nil
 	}
 	if len(st.data) == 0 {
 		return nil
 	}
-	return &Stream{Key: st.key, Data: st.data, Finished: st.finished}
+	s := &Stream{Key: st.key, Data: st.data, Finished: st.finished, Rewritten: st.rewritten}
+	st.rewritten = false // reported; the consumer owns the reset now
+	return s
 }
 
 // insert merges a segment, returning true if contiguous data grew.
-func (st *stream) insert(seq uint32, data []byte) bool {
+// Under LastWins an overlapping retransmission also rewrites the
+// already-buffered bytes it covers; a content-changing rewrite flags
+// the stream (Stream.Rewritten) so consumers re-analyze even though
+// nothing grew.
+func (st *stream) insert(seq uint32, data []byte, policy OverlapPolicy) bool {
 	end := st.baseSeq + uint32(len(st.data))
 	switch {
 	case seq == end:
 		// In-order append.
 		st.data = appendCapped(st.data, data)
 	case seqLess(seq, end):
-		// Overlap/retransmission: keep existing bytes, append any
-		// new tail.
+		// Overlap/retransmission: FirstWins keeps existing bytes;
+		// LastWins rewrites them with the retransmitted copy. Either
+		// way any new tail is appended.
+		if policy == LastWins {
+			st.overwrite(seq, data)
+		}
 		skip := end - seq
 		if uint32(len(data)) <= skip {
 			return false
@@ -172,6 +214,9 @@ func (st *stream) insert(seq uint32, data []byte) bool {
 			switch {
 			case seqLess(sg.seq, end) || sg.seq == end:
 				st.pendBytes -= len(sg.data)
+				if policy == LastWins {
+					st.overwrite(sg.seq, sg.data)
+				}
 				skip := end - sg.seq
 				if uint32(len(sg.data)) > skip {
 					st.data = appendCapped(st.data, sg.data[skip:])
@@ -185,6 +230,33 @@ func (st *stream) insert(seq uint32, data []byte) bool {
 		st.pending = rest
 	}
 	return true
+}
+
+// overwrite rewrites the already-buffered bytes covered by
+// [seq, seq+len(data)) with the new copy — the LastWins resolution —
+// and flags the stream when content actually changed. Bytes before
+// the stream base or past the buffered end are ignored (the
+// tail-append path handles growth).
+func (st *stream) overwrite(seq uint32, data []byte) {
+	start := uint32(0)
+	if seqLess(seq, st.baseSeq) {
+		start = st.baseSeq - seq
+		if uint32(len(data)) <= start {
+			return
+		}
+	}
+	idx := int(seq + start - st.baseSeq)
+	if idx >= len(st.data) {
+		return
+	}
+	src := data[start:]
+	if n := len(st.data) - idx; len(src) > n {
+		src = src[:n]
+	}
+	if !bytes.Equal(st.data[idx:idx+len(src)], src) {
+		st.rewritten = true
+		copy(st.data[idx:], src)
+	}
 }
 
 func appendCapped(dst, src []byte) []byte {

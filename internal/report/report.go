@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"semnids/internal/core"
+	"semnids/internal/incident"
 )
 
 // JSONAlert is the serialized form of one alert.
@@ -70,7 +71,8 @@ type Incident struct {
 	LastUS    uint64
 }
 
-var severityRank = map[string]int{"": 0, "low": 1, "medium": 2, "high": 3, "critical": 4}
+// severityRank aliases the pipeline-wide ranking (core.SeverityRank).
+var severityRank = core.SeverityRank
 
 // Aggregate groups alerts into per-source incidents, ordered by
 // severity (descending) then source address.
@@ -112,6 +114,80 @@ func Aggregate(alerts []core.Alert) []Incident {
 		return out[i].Src < out[j].Src
 	})
 	return out
+}
+
+// JSONTransition is the serialized form of one kill-chain transition.
+type JSONTransition struct {
+	Stage string `json:"stage"`
+	AtUS  uint64 `json:"at_us"`
+}
+
+// JSONIncident is the serialized form of one correlated incident.
+type JSONIncident struct {
+	Src          string           `json:"src"`
+	Stage        string           `json:"stage"`
+	Severity     string           `json:"severity"`
+	FirstUS      uint64           `json:"first_us"`
+	LastUS       uint64           `json:"last_us"`
+	Destinations int              `json:"destinations"`
+	Alerts       int              `json:"alerts"`
+	Templates    []string         `json:"templates,omitempty"`
+	Victims      []string         `json:"victims,omitempty"`
+	Transitions  []JSONTransition `json:"transitions,omitempty"`
+}
+
+// ToJSONIncident converts an incident.
+func ToJSONIncident(inc incident.Incident) JSONIncident {
+	out := JSONIncident{
+		Src:          inc.Src.String(),
+		Stage:        inc.Stage.String(),
+		Severity:     inc.Severity,
+		FirstUS:      inc.FirstUS,
+		LastUS:       inc.LastUS,
+		Destinations: inc.Destinations,
+		Alerts:       inc.Alerts,
+		Templates:    inc.Templates,
+		Victims:      inc.Victims,
+	}
+	for _, t := range inc.Transitions {
+		out.Transitions = append(out.Transitions, JSONTransition{Stage: t.Stage.String(), AtUS: t.AtUS})
+	}
+	return out
+}
+
+// WriteIncidentsJSON emits one JSON object per correlated incident
+// (JSONL), mirroring WriteJSON for alerts.
+func WriteIncidentsJSON(w io.Writer, incidents []incident.Incident) error {
+	enc := json.NewEncoder(w)
+	for _, inc := range incidents {
+		if err := enc.Encode(ToJSONIncident(inc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIncidents renders the live correlator's incident table — the
+// kill-chain view (stage, propagation victims) the streaming engine
+// maintains while traffic flows, alongside the batch per-alert
+// summary of WriteSummary.
+func WriteIncidents(w io.Writer, incidents []incident.Incident) error {
+	if len(incidents) == 0 {
+		_, err := fmt.Fprintln(w, "no correlated incidents")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %-12s %-9s %-7s %-6s %-24s %s\n",
+		"source", "stage", "severity", "alerts", "dests", "behaviors", "victims"); err != nil {
+		return err
+	}
+	for _, inc := range incidents {
+		if _, err := fmt.Fprintf(w, "%-16s %-12s %-9s %-7d %-6d %-24s %s\n",
+			inc.Src, inc.Stage, inc.Severity, inc.Alerts, inc.Destinations,
+			strings.Join(inc.Templates, ","), strings.Join(inc.Victims, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteSummary renders an operator-facing incident table.

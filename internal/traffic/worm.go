@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"net/netip"
+
+	"semnids/internal/exploits"
+	"semnids/internal/netpkt"
+)
+
+// WormSpec describes a propagating outbreak with known ground truth:
+// patient zero scans dark space and exploits its victims; each
+// infected victim then scans and re-delivers the *same* payload to
+// fresh victims — the scan → exploit → propagation kill chain the
+// incident correlator exists to surface. Ground truth: every host in
+// a generation before the last reaches PROPAGATION (its victims
+// re-emit the payload), the last generation of attackers stops at
+// EXPLOIT, and benign background sessions correlate to nothing.
+type WormSpec struct {
+	Seed int64
+
+	// Payload is the exploit request every infection delivers
+	// (default: the Code Red II exploitation vector).
+	Payload []byte
+
+	// Generations is the propagation depth: 1 = patient zero only
+	// (no host re-emits), 2 = patient zero's victims attack in turn
+	// (default 2).
+	Generations int
+
+	// FanoutPerHost is how many victims each infected host attacks
+	// (default 2).
+	FanoutPerHost int
+
+	// ScansPerHost is the dark-space probe count preceding each
+	// host's first delivery (default 4; the classifier's default
+	// threshold is 3).
+	ScansPerHost int
+
+	// BenignSessions interleaves background sessions before each
+	// infection (default 2).
+	BenignSessions int
+}
+
+// WormOutbreak renders the outbreak as an ordered packet slice.
+func WormOutbreak(spec WormSpec) []*netpkt.Packet {
+	if spec.Payload == nil {
+		spec.Payload = exploits.CodeRedIIRequest()
+	}
+	if spec.Generations <= 0 {
+		spec.Generations = 2
+	}
+	if spec.FanoutPerHost <= 0 {
+		spec.FanoutPerHost = 2
+	}
+	if spec.ScansPerHost <= 0 {
+		spec.ScansPerHost = 4
+	}
+	if spec.BenignSessions < 0 {
+		spec.BenignSessions = 0
+	} else if spec.BenignSessions == 0 {
+		spec.BenignSessions = 2
+	}
+
+	g := NewGen(spec.Seed)
+	var out []*netpkt.Packet
+
+	// Victims are allocated from a subnet disjoint from the benign
+	// clients and protected servers, so infection attribution in
+	// tests is unambiguous.
+	nextVictim := 0
+	victim := func() netip.Addr {
+		nextVictim++
+		return netip.AddrFrom4([4]byte{172, 16, byte(nextVictim >> 8), byte(nextVictim)})
+	}
+
+	infected := []netip.Addr{g.RandClient()} // patient zero
+	for gen := 0; gen < spec.Generations; gen++ {
+		var nextGen []netip.Addr
+		for _, host := range infected {
+			for v := 0; v < spec.FanoutPerHost; v++ {
+				for b := 0; b < spec.BenignSessions; b++ {
+					out = append(out, g.BenignSession()...)
+					g.Advance(2000)
+				}
+				target := victim()
+				out = append(out, g.ScanThenExploit(host, target, 80, spec.Payload, spec.ScansPerHost)...)
+				g.Advance(3000)
+				nextGen = append(nextGen, target)
+			}
+		}
+		infected = nextGen
+	}
+	return out
+}

@@ -33,6 +33,7 @@ import (
 	"semnids/internal/classify"
 	"semnids/internal/core"
 	"semnids/internal/engine"
+	"semnids/internal/incident"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
 )
@@ -220,7 +221,53 @@ type EngineConfig struct {
 	// VerdictCacheSize is the payload-fingerprint verdict cache
 	// capacity in entries (0 = default 8192, negative disables).
 	VerdictCacheSize int
+
+	// Correlate attaches the streaming incident correlator: shard
+	// events feed per-source kill-chain state machines
+	// (RECON → EXPLOIT → PROPAGATION), readable live via Incidents
+	// and SubscribeIncidents.
+	Correlate bool
+
+	// IncidentWindow is the sliding trace-time window for the
+	// correlator's destination fan-out (default 30s).
+	IncidentWindow time.Duration
+
+	// IncidentFanout is the distinct-destination count inside the
+	// window that establishes RECON (default 3).
+	IncidentFanout int
+
+	// MaxIncidentSources caps the correlator's tracked sources;
+	// least-recently-active sources beyond it are finalized and
+	// evicted (default 65536).
+	MaxIncidentSources int
+
+	// OnIncident, when non-nil, is invoked from the correlator
+	// goroutine each time a source's kill-chain stage rises. It runs
+	// with correlator state locked: it must not call back into the
+	// engine's incident surface (Incidents, IncidentStats,
+	// SubscribeIncidents) or it will deadlock — use SubscribeIncidents
+	// for a decoupled feed instead.
+	OnIncident func(Incident)
 }
+
+// Incident is one source's correlated kill-chain activity.
+type Incident = incident.Incident
+
+// IncidentStage is a kill-chain position (RECON, EXPLOIT,
+// PROPAGATION).
+type IncidentStage = incident.Stage
+
+// Kill-chain stages, re-exported for switch statements on
+// Incident.Stage.
+const (
+	StageNone        = incident.StageNone
+	StageRecon       = incident.StageRecon
+	StageExploit     = incident.StageExploit
+	StagePropagation = incident.StagePropagation
+)
+
+// IncidentMetrics reports correlator counters and gauges.
+type IncidentMetrics = incident.Metrics
 
 // Engine is a continuously-running streaming detector: sharded
 // ingestion, bounded flow state with eviction, and verdict caching.
@@ -230,10 +277,11 @@ type EngineConfig struct {
 // with the batch NIDS surface.
 type Engine struct {
 	inner *engine.Engine
+	corr  *incident.Correlator
 }
 
 // NewEngine validates the configuration and starts a streaming
-// engine.
+// engine (and, with Correlate set, its incident correlator).
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	ccfg, tpls, err := cfg.Config.pipeline()
 	if err != nil {
@@ -253,7 +301,18 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.ShedOnOverload {
 		ecfg.Overload = engine.PolicyShed
 	}
-	return &Engine{inner: engine.New(ecfg)}, nil
+	e := &Engine{}
+	if cfg.Correlate {
+		e.corr = incident.New(incident.Config{
+			WindowUS:        uint64(cfg.IncidentWindow / time.Microsecond),
+			FanoutThreshold: cfg.IncidentFanout,
+			MaxSources:      cfg.MaxIncidentSources,
+			OnIncident:      cfg.OnIncident,
+		})
+		ecfg.OnEvent = e.corr.Publish
+	}
+	e.inner = engine.New(ecfg)
+	return e, nil
 }
 
 // ProcessFrame feeds one raw Ethernet frame with its capture
@@ -322,22 +381,35 @@ func (e *Engine) feed(r io.Reader, speed float64) error {
 		}
 		e.inner.Process(p)
 	}
-	e.inner.Drain()
+	e.Drain()
 	return nil
 }
 
 // Drain completes all queued analysis and the unfinished tail of
-// every tracked flow, then resets flow state. The engine stays live.
-func (e *Engine) Drain() { e.inner.Drain() }
+// every tracked flow, then resets flow state; with a correlator
+// attached, all events published by that work are applied too. The
+// engine stays live.
+func (e *Engine) Drain() {
+	e.inner.Drain()
+	if e.corr != nil {
+		e.corr.Flush()
+	}
+}
 
 // Flush is Drain under the batch detector's name, so the engine is a
 // drop-in replacement for NIDS — with the difference that the engine
 // can still be fed afterwards.
-func (e *Engine) Flush() { e.inner.Drain() }
+func (e *Engine) Flush() { e.Drain() }
 
-// Stop drains and terminates the engine. Idempotent and safe
-// alongside concurrent Alerts/Stats reads.
-func (e *Engine) Stop() { e.inner.Stop() }
+// Stop drains and terminates the engine and any attached correlator.
+// Idempotent and safe alongside concurrent Alerts/Stats/Incidents
+// reads.
+func (e *Engine) Stop() {
+	e.inner.Stop()
+	if e.corr != nil {
+		e.corr.Stop()
+	}
+}
 
 // Alerts returns the alerts recorded so far (complete for a trace
 // after Drain or Stop).
@@ -345,3 +417,34 @@ func (e *Engine) Alerts() []Alert { return e.inner.Alerts() }
 
 // Stats returns engine counters and gauges.
 func (e *Engine) Stats() EngineMetrics { return e.inner.Snapshot() }
+
+// Incidents returns the correlator's current incident set, ordered by
+// stage, severity, then source — deterministic for a given trace
+// whatever the shard count. Nil without Correlate.
+func (e *Engine) Incidents() []Incident {
+	if e.corr == nil {
+		return nil
+	}
+	return e.corr.Incidents()
+}
+
+// SubscribeIncidents registers a live incident feed delivering a
+// derived snapshot at every kill-chain stage transition. Slow
+// subscribers shed (counted in IncidentStats().SubDropped) rather
+// than stalling correlation; cancel unregisters and closes the
+// channel. Returns nil without Correlate.
+func (e *Engine) SubscribeIncidents(buf int) (<-chan Incident, func()) {
+	if e.corr == nil {
+		return nil, func() {}
+	}
+	return e.corr.Subscribe(buf)
+}
+
+// IncidentStats returns correlator counters and gauges (zero value
+// without Correlate).
+func (e *Engine) IncidentStats() IncidentMetrics {
+	if e.corr == nil {
+		return IncidentMetrics{}
+	}
+	return e.corr.Metrics()
+}

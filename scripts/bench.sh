@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-REGEX="${1:-Table1|Table2|FalsePositiveScan|AnalyzeFrame|DecodeCached|EngineThroughput|EngineVerdictCache}"
+REGEX="${1:-Table1|Table2|FalsePositiveScan|AnalyzeFrame|DecodeCached|EngineThroughput|EngineVerdictCache|Correlator}"
 COUNT="${2:-5}"
 DATE="$(date -u +%Y%m%d)"
 TXT="BENCH_${DATE}.txt"
