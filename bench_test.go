@@ -8,6 +8,7 @@ package nids
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"semnids/internal/classify"
@@ -254,10 +255,13 @@ func BenchmarkPipelineParallelism(b *testing.B) {
 // BenchmarkEngineThroughput measures streaming-engine packet
 // throughput as shard count grows, over a mixed trace with
 // classification disabled so every payload reaches a shard (the
-// CPU-bound worst case). Sharded ingestion should scale packets/sec
-// with cores; on a single-CPU host the shards serialize and the curve
-// is flat. The verdict cache is disabled to measure raw analysis
-// scaling rather than memoization.
+// CPU-bound worst case). The engine is long-lived (Drain per
+// iteration keeps it hot, as a live sensor runs), the verdict cache is
+// disabled to measure raw analysis scaling rather than memoization,
+// and each shard count runs twice: a single serial feeder (shards-N —
+// ingestion-bound once shards outnumber the feeder) and one feeder
+// goroutine per shard (shards-N/parallel — where shard scaling is
+// actually observable).
 func BenchmarkEngineThroughput(b *testing.B) {
 	spec := traffic.TraceSpec{Seed: 9, BenignSessions: 120, CodeRedInstances: 2}
 	pkts := traffic.Synthesize(spec)
@@ -265,29 +269,66 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for _, p := range pkts {
 		total += int64(len(p.Payload))
 	}
+	assertCRII := func(b *testing.B, e *engine.Engine) {
+		b.StopTimer()
+		crii := false
+		for _, a := range e.Alerts() {
+			if a.Detection.Template == "code-red-ii" {
+				crii = true
+			}
+		}
+		if !crii {
+			b.Fatal("engine missed the trace's code-red-ii instances")
+		}
+	}
 	for _, shards := range []int{1, 2, 4} {
+		cfg := engine.Config{
+			Classify:         classify.Config{Disabled: true},
+			Shards:           shards,
+			VerdictCacheSize: -1,
+		}
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			e := engine.New(cfg)
+			defer e.Stop()
 			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e := engine.New(engine.Config{
-					Classify:         classify.Config{Disabled: true},
-					Shards:           shards,
-					VerdictCacheSize: -1,
-				})
 				for _, p := range pkts {
 					e.Process(p)
 				}
-				e.Stop()
-				crii := false
-				for _, a := range e.Alerts() {
-					if a.Detection.Template == "code-red-ii" {
-						crii = true
-					}
-				}
-				if !crii {
-					b.Fatal("engine missed the trace's code-red-ii instances")
-				}
+				e.Drain()
 			}
+			assertCRII(b, e)
+		})
+		b.Run(fmt.Sprintf("shards-%d/parallel", shards), func(b *testing.B) {
+			e := engine.New(cfg)
+			defer e.Stop()
+			parts := make([][]*netpkt.Packet, shards)
+			for _, p := range pkts {
+				fi := engine.FlowHash(p.Flow(), shards)
+				parts[fi] = append(parts[fi], p)
+			}
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for fi := range parts {
+					wg.Add(1)
+					go func(part []*netpkt.Packet) {
+						defer wg.Done()
+						f := e.NewFeeder()
+						for _, p := range part {
+							f.Process(p)
+						}
+						f.Flush()
+					}(parts[fi])
+				}
+				wg.Wait()
+				e.Drain()
+			}
+			assertCRII(b, e)
 		})
 	}
 }

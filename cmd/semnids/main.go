@@ -7,6 +7,7 @@
 //	        [-all] [-fullscan] [-workers N]
 //	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
 //	        [-correlate] [-incident-window 30s] [-stats]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -all the classifier is disabled and every payload is analyzed
 // (the paper's Section 5.4 configuration). With -stream the trace is
@@ -19,12 +20,18 @@
 // -incident-window; incidents print as a table, or as JSONL after the
 // alerts with -json. -stats prints per-shard load gauges (EWMA
 // packets/sec, queue depth) and correlator counters.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (CPU
+// for its duration, heap at exit), so operators can profile a live
+// sensor configuration with `go tool pprof` without rebuilding.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,36 +40,71 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code, so deferred profile writers fire
+// before the process exits whatever path the run takes.
+func run() int {
 	var (
-		pcapPath  = flag.String("pcap", "", "pcap trace to analyze")
-		scanPath  = flag.String("scan", "", "binary file to host-scan instead of a trace")
-		honeypots = flag.String("honeypot", "192.168.1.250", "comma-separated decoy addresses")
-		dark      = flag.String("dark", "192.168.2.0/24", "comma-separated un-used CIDR prefixes")
-		threshold = flag.Int("t", 3, "dark-space scan threshold")
-		all       = flag.Bool("all", false, "disable classification: analyze every payload")
-		fullscan  = flag.Bool("fullscan", false, "disable extraction pruning too (exhaustive baseline)")
-		workers   = flag.Int("workers", 0, "analysis workers (0 = NumCPU)")
-		quiet     = flag.Bool("q", false, "suppress per-alert output")
-		jsonOut   = flag.Bool("json", false, "emit alerts as JSONL instead of text")
-		summary   = flag.Bool("summary", false, "print a per-source incident summary at exit")
-		tplFile   = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
-		stream    = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
-		shards    = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
-		shed      = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
-		replay    = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
-		speed     = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
-		correlate = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
-		incWindow = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
-		stats     = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
+		pcapPath   = flag.String("pcap", "", "pcap trace to analyze")
+		scanPath   = flag.String("scan", "", "binary file to host-scan instead of a trace")
+		honeypots  = flag.String("honeypot", "192.168.1.250", "comma-separated decoy addresses")
+		dark       = flag.String("dark", "192.168.2.0/24", "comma-separated un-used CIDR prefixes")
+		threshold  = flag.Int("t", 3, "dark-space scan threshold")
+		all        = flag.Bool("all", false, "disable classification: analyze every payload")
+		fullscan   = flag.Bool("fullscan", false, "disable extraction pruning too (exhaustive baseline)")
+		workers    = flag.Int("workers", 0, "analysis workers (0 = NumCPU)")
+		quiet      = flag.Bool("q", false, "suppress per-alert output")
+		jsonOut    = flag.Bool("json", false, "emit alerts as JSONL instead of text")
+		summary    = flag.Bool("summary", false, "print a per-source incident summary at exit")
+		tplFile    = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
+		stream     = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
+		shards     = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
+		shed       = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
+		replay     = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
+		speed      = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
+		correlate  = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
+		incWindow  = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
+		stats      = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "semnids:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "semnids:", err)
+			}
+		}()
+	}
 	if *scanPath != "" {
-		hostScan(*scanPath)
-		return
+		return hostScan(*scanPath)
 	}
 	if *pcapPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := nids.Config{
@@ -84,51 +126,51 @@ func main() {
 		text, err := os.ReadFile(*tplFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 		cfg.TemplatesDSL = string(text)
 	}
 
 	if *stream || *correlate {
-		runEngine(cfg, *pcapPath, engineOpts{
+		return runEngine(cfg, *pcapPath, engineOpts{
 			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
 			jsonOut: *jsonOut, summary: *summary, stats: *stats,
 			correlate: *correlate, incidentWindow: *incWindow,
 		})
-		return
 	}
 
 	n, err := nids.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	f, err := os.Open(*pcapPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	if err := n.ProcessPcap(f); err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout, n.Alerts()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *summary {
 		fmt.Println()
 		if err := report.WriteSummary(os.Stdout, n.Alerts()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	m := n.Stats()
 	fmt.Printf("\npackets=%d selected=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
 		m.Packets, m.Selected, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
+	return 0
 }
 
 // engineOpts bundles the streaming-engine command-line switches.
@@ -148,7 +190,7 @@ type engineOpts struct {
 // paced by capture timestamps, and prints engine-level statistics
 // (verdict cache, evictions, shed packets) alongside the pipeline
 // counters — plus live incidents when the correlator is attached.
-func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
+func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 	e, err := nids.NewEngine(nids.EngineConfig{
 		Config:         cfg,
 		Shards:         opts.shards,
@@ -158,13 +200,13 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer e.Stop()
 	f, err := os.Open(pcapPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	if opts.replay {
@@ -174,17 +216,17 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	if opts.jsonOut {
 		if err := report.WriteJSON(os.Stdout, e.Alerts()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 		if opts.correlate {
 			if err := report.WriteIncidentsJSON(os.Stdout, e.Incidents()); err != nil {
 				fmt.Fprintln(os.Stderr, "semnids:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -192,14 +234,14 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
 		fmt.Println()
 		if err := report.WriteSummary(os.Stdout, e.Alerts()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if opts.correlate && !opts.jsonOut {
 		fmt.Println()
 		if err := report.WriteIncidents(os.Stdout, e.Incidents()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	m := e.Stats()
@@ -218,15 +260,16 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) {
 				im.SourcesTracked, im.Incidents, im.SourcesEvictedLRU, im.SourcesEvictedIdle)
 		}
 	}
+	return 0
 }
 
 // hostScan analyzes an on-disk binary with the semantic stages only —
 // the configuration used for the paper's Netsky comparison.
-func hostScan(path string) {
+func hostScan(path string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
-		os.Exit(1)
+		return 1
 	}
 	ds := nids.AnalyzeBytes(data)
 	fmt.Printf("%s: %d bytes, %d detections\n", path, len(data), len(ds))
@@ -234,6 +277,7 @@ func hostScan(path string) {
 		fmt.Printf("  %-28s %-8s at %v  %v\n", d.Template, d.Severity, d.Addrs, d.Bindings)
 	}
 	if len(ds) > 0 {
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"net/netip"
+	"testing"
+
+	"semnids/internal/classify"
+	"semnids/internal/netpkt"
+)
+
+// ingestTrafficPackets builds a benign mixed workload: nFlows TCP
+// sessions (several text segments, then FIN) plus a UDP datagram per
+// flow — the shapes the ingest path sees constantly and must handle
+// without per-packet allocation.
+func ingestTrafficPackets(nFlows int) []*netpkt.Packet {
+	payload := []byte("GET /index.html HTTP/1.1\r\nHost: bench.example.com\r\nAccept: */*\r\n\r\n")
+	var pkts []*netpkt.Packet
+	ts := uint64(1000)
+	for f := 0; f < nFlows; f++ {
+		src := netip.AddrFrom4([4]byte{10, 9, byte(f >> 8), byte(f)})
+		seq := uint32(100)
+		for s := 0; s < 3; s++ {
+			pkts = append(pkts, &netpkt.Packet{
+				SrcIP: src, DstIP: netip.AddrFrom4([4]byte{10, 9, 255, 1}),
+				SrcPort: uint16(2000 + f), DstPort: 80,
+				Proto: netpkt.ProtoTCP, HasTCP: true, Flags: netpkt.FlagACK,
+				Seq: seq, Payload: payload, TimestampUS: ts,
+			})
+			seq += uint32(len(payload))
+			ts += 50
+		}
+		pkts = append(pkts, &netpkt.Packet{
+			SrcIP: src, DstIP: netip.AddrFrom4([4]byte{10, 9, 255, 1}),
+			SrcPort: uint16(2000 + f), DstPort: 80,
+			Proto: netpkt.ProtoTCP, HasTCP: true, Flags: netpkt.FlagFIN | netpkt.FlagACK,
+			Seq: seq, TimestampUS: ts,
+		})
+		pkts = append(pkts, &netpkt.Packet{
+			SrcIP: src, DstIP: netip.AddrFrom4([4]byte{10, 9, 255, 2}),
+			SrcPort: uint16(3000 + f), DstPort: 53,
+			Proto: netpkt.ProtoUDP, HasUDP: true,
+			Payload: []byte("benign datagram content............."), TimestampUS: ts,
+		})
+		ts += 50
+	}
+	return pkts
+}
+
+// TestEngineIngestAllocs is the ingest-path allocation-regression
+// guard, mirroring sem's analyzer pin: a warm engine fed a benign
+// mixed trace (batch dispatch, reassembly, extraction, analysis,
+// drain) must stay far below one allocation per packet. A regression
+// to per-packet channel messages, per-packet Stream views or
+// per-frame decode caches trips this immediately.
+func TestEngineIngestAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; allocation pin not meaningful")
+	}
+	pkts := ingestTrafficPackets(40)
+	e := New(Config{
+		Classify:         classify.Config{Disabled: true},
+		Shards:           1,
+		VerdictCacheSize: -1,
+	})
+	defer e.Stop()
+
+	run := func() {
+		for _, p := range pkts {
+			e.Process(p)
+		}
+		e.Drain()
+	}
+	// Warm: grows shard maps, reassembly pools, analyzer scratch.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	perPacket := allocs / float64(len(pkts))
+	// Steady state measures ~0.1 allocs/packet (drain barriers, map
+	// growth churn, pool refills after GC). The budget is 0.5: loose
+	// enough for runtime noise, tight enough that any per-packet
+	// allocation on the ingest path (1.0+/packet) fails.
+	if perPacket > 0.5 {
+		t.Errorf("ingest path allocates %.2f objects/packet over %d packets (%.0f/run), budget 0.5",
+			perPacket, len(pkts), allocs)
+	}
+}

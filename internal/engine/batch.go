@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"semnids/internal/classify"
+	"semnids/internal/netpkt"
+)
+
+// batchEntry is one selected packet riding a dispatch batch.
+type batchEntry struct {
+	pkt    *netpkt.Packet
+	reason classify.Reason
+}
+
+// pktBatch is one unit of shard dispatch: up to batchCap selected
+// packets handed over in a single channel send. Batch buffers live in
+// a fixed ring per shard (the free channel) and shuttle between feeder
+// and shard, so steady-state dispatch performs no allocation — and,
+// far more importantly, one channel handoff (with its potential
+// futex wake) covers a whole batch instead of every packet.
+type pktBatch struct {
+	entries []batchEntry
+}
+
+// Feeder is a per-goroutine ingestion handle. The engine's Process is
+// a convenience wrapper over a default feeder; parallel capture loops
+// create one Feeder each (NewFeeder) and feed packets through it from
+// that goroutine only. Packets of one flow must go through one feeder
+// (or the per-flow arrival order the shards rely on is lost).
+//
+// A feeder accumulates selected packets into per-shard batches and
+// dispatches a batch when it fills, or when trace time advances a tick
+// past the last flush (so a trickle of traffic cannot strand packets
+// in a partial batch forever). Flush dispatches everything buffered;
+// call it before Engine.Drain, and on every feeder before relying on
+// cross-feeder completion.
+type Feeder struct {
+	e           *Engine
+	pending     []*pktBatch // per shard; nil when empty
+	maxTS       uint64
+	lastFlushTS uint64
+}
+
+// NewFeeder returns an ingestion handle bound to the engine. Each
+// feeder is single-goroutine; any number of feeders may run
+// concurrently (the classification stage and all engine counters are
+// concurrency-safe, and shard queues are multiple-producer).
+func (e *Engine) NewFeeder() *Feeder {
+	return &Feeder{e: e, pending: make([]*pktBatch, len(e.shards))}
+}
+
+// Process offers one parsed packet to the engine, which takes
+// ownership of it (pooled packets are released once fully handled,
+// whatever path they take). Packets offered after Stop are ignored.
+func (f *Feeder) Process(p *netpkt.Packet) {
+	e := f.e
+	if e.stopped.Load() {
+		p.Release()
+		return
+	}
+	e.m.packets.Add(1)
+	ok, reason := e.classifier.Classify(p)
+	if !ok {
+		p.Release()
+		return
+	}
+	e.m.selected.Add(1)
+	if p.TimestampUS > f.maxTS {
+		f.maxTS = p.TimestampUS
+	}
+
+	si := shardIndex(p.Flow(), len(e.shards))
+	s := e.shards[si]
+	b := f.pending[si]
+	if b == nil {
+		if b = s.getBatch(e.cfg.Overload); b == nil {
+			// Shed policy with every batch buffer in flight: the shard
+			// is saturated and its queue full.
+			e.m.dropped.Add(1)
+			p.Release()
+			return
+		}
+		f.pending[si] = b
+	}
+	b.entries = append(b.entries, batchEntry{pkt: p, reason: reason})
+	if len(b.entries) >= s.batchCap {
+		f.dispatch(si)
+	}
+
+	// Trace time advanced a tick since the last flush: hand over every
+	// partial batch so analysis (and shard lifecycle ticks) keep up
+	// with trace time even under a trickle of selected traffic.
+	if f.maxTS-f.lastFlushTS >= e.cfg.TickIntervalUS {
+		f.Flush()
+	}
+}
+
+// dispatch sends shard si's pending batch. Under the shed policy a
+// full queue drops the whole batch (counted per packet) rather than
+// blocking the feeder. After Stop the batch is released instead of
+// sent (the shard queues are closed), so a straggling feeder's Flush
+// is safe rather than a panic.
+func (f *Feeder) dispatch(si int) {
+	b := f.pending[si]
+	if b == nil {
+		return
+	}
+	f.pending[si] = nil
+	s := f.e.shards[si]
+	if len(b.entries) == 0 {
+		s.putBatch(b)
+		return
+	}
+	if f.e.stopped.Load() {
+		releaseBatch(b)
+		s.putBatch(b)
+		return
+	}
+	// Count the packets as queued before the send so the gauge never
+	// misses in-queue work (the shard decrements after processing).
+	s.queued.Add(int64(len(b.entries)))
+	if f.e.cfg.Overload == PolicyShed {
+		select {
+		case s.in <- shardMsg{batch: b}:
+		default:
+			s.queued.Add(-int64(len(b.entries)))
+			f.e.m.dropped.Add(uint64(len(b.entries)))
+			releaseBatch(b)
+			s.putBatch(b)
+		}
+		return
+	}
+	s.in <- shardMsg{batch: b}
+}
+
+// Flush dispatches every pending partial batch.
+func (f *Feeder) Flush() {
+	for si := range f.pending {
+		f.dispatch(si)
+	}
+	f.lastFlushTS = f.maxTS
+}
+
+// releaseBatch releases every packet in a dropped batch and resets it.
+func releaseBatch(b *pktBatch) {
+	for i := range b.entries {
+		b.entries[i].pkt.Release()
+		b.entries[i] = batchEntry{}
+	}
+	b.entries = b.entries[:0]
+}
+
+// getBatch draws a batch buffer from the shard's ring. An exhausted
+// ring means every buffer is queued, in processing, or pending on
+// some feeder: under the block policy an overflow buffer is allocated
+// (backpressure comes from the bounded queue send, and the ring
+// simply declines to grow at putBatch). Under shed an empty ring
+// alone is not overload — other feeders may simply be holding partial
+// batches — so a buffer is still allocated while the queue has room,
+// and only an empty ring WITH a full queue (genuine saturation) makes
+// the caller drop. Memory stays bounded either way: allocation stops
+// the moment the queue fills, and overload itself never allocates.
+func (s *shard) getBatch(policy OverloadPolicy) *pktBatch {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+	}
+	if policy == PolicyShed && len(s.in) >= cap(s.in) {
+		return nil
+	}
+	return &pktBatch{entries: make([]batchEntry, 0, s.batchCap)}
+}
+
+// putBatch returns a processed (or dropped) batch buffer to the ring.
+func (s *shard) putBatch(b *pktBatch) {
+	select {
+	case s.free <- b:
+	default:
+		// The ring is full (an overflow buffer): let it go.
+	}
+}

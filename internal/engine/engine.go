@@ -65,6 +65,15 @@ type Config struct {
 	// QueueDepth bounds each shard's packet queue (default 1024).
 	QueueDepth int
 
+	// BatchSize is the shard dispatch granularity: selected packets
+	// accumulate into per-shard batches of this many packets and cross
+	// the shard queue in one send, amortizing the handoff (and its
+	// consumer wakeup) that used to be paid per packet. Batches also
+	// flush when trace time advances a tick, so latency is bounded by
+	// TickIntervalUS. Default 64, capped at QueueDepth so tiny queues
+	// keep per-packet overload semantics.
+	BatchSize int
+
 	// Overload selects the full-queue policy (default PolicyBlock).
 	Overload OverloadPolicy
 
@@ -151,7 +160,9 @@ type Metrics struct {
 
 // ShardMetrics is one shard's load view.
 type ShardMetrics struct {
-	// QueueLen and QueueCap describe the shard's bounded input queue.
+	// QueueLen counts the packets currently dispatched to the shard
+	// and not yet processed (including the batch in progress);
+	// QueueCap is the configured QueueDepth.
 	QueueLen, QueueCap int
 
 	// PacketsPerSec is an exponentially-weighted moving average of the
@@ -169,6 +180,15 @@ type Engine struct {
 	analyzer   *sem.Analyzer
 	cache      *verdictCache
 	shards     []*shard
+
+	// feeder is the default ingestion handle behind Engine.Process;
+	// parallel capture loops create their own with NewFeeder. feedMu
+	// serializes its batching state so Drain/Stop (which flush it) can
+	// run concurrently with a Process loop, as they always could — an
+	// uncontended lock costs nanoseconds against the per-packet
+	// classification work.
+	feedMu sync.Mutex
+	feeder *Feeder
 
 	mu     sync.Mutex
 	alerts []core.Alert
@@ -192,6 +212,12 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.BatchSize > cfg.QueueDepth {
+		cfg.BatchSize = cfg.QueueDepth
 	}
 	if cfg.FlowIdleTimeoutUS == 0 {
 		cfg.FlowIdleTimeoutUS = 60e6
@@ -233,6 +259,7 @@ func New(cfg Config) *Engine {
 		e.shards[i] = newShard(e, i)
 		go e.shards[i].run()
 	}
+	e.feeder = e.NewFeeder()
 	return e
 }
 
@@ -240,13 +267,11 @@ func New(cfg Config) *Engine {
 // pre-register suspicious sources).
 func (e *Engine) Classifier() *classify.Classifier { return e.classifier }
 
-// shardIndex maps a flow to its owning shard with an FNV-1a hash over
-// the directional flow key, so every packet of a flow is handled by
-// one goroutine in arrival order.
-func shardIndex(k netpkt.FlowKey, n int) int {
-	if n == 1 {
-		return 0
-	}
+// FlowHash maps a directional flow key to a bucket in [0, n) with an
+// FNV-1a hash — the engine's shard-ownership function, exported so
+// parallel capture loops can partition packets across Feeders with
+// the same flow affinity the shards use.
+func FlowHash(k netpkt.FlowKey, n int) int {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
 	mix := func(b byte) {
@@ -267,41 +292,40 @@ func shardIndex(k netpkt.FlowKey, n int) int {
 	return int(h % uint64(n))
 }
 
-// Process offers one parsed packet to the engine, which takes
-// ownership of it. Call from a single goroutine (the capture or
-// replay loop); packets offered after Stop are ignored.
-func (e *Engine) Process(p *netpkt.Packet) {
-	if e.stopped.Load() {
-		return
+// shardIndex maps a flow to its owning shard, so every packet of a
+// flow is handled by one goroutine in arrival order.
+func shardIndex(k netpkt.FlowKey, n int) int {
+	if n == 1 {
+		return 0
 	}
-	e.m.packets.Add(1)
-	ok, reason := e.classifier.Classify(p)
-	if !ok {
-		return
-	}
-	e.m.selected.Add(1)
-	s := e.shards[shardIndex(p.Flow(), len(e.shards))]
-	msg := shardMsg{pkt: p, reason: reason}
-	if e.cfg.Overload == PolicyShed {
-		select {
-		case s.in <- msg:
-		default:
-			e.m.dropped.Add(1)
-		}
-		return
-	}
-	s.in <- msg
+	return FlowHash(k, n)
 }
 
-// Drain waits for every queued packet to be analyzed, then analyzes
-// the unfinished tail of every in-progress flow and resets per-flow
-// state. Unlike the batch pipeline's Flush, the engine stays live:
-// the next trace (or the next packet of live capture) can follow
-// immediately. No-op after Stop.
+// Process offers one parsed packet to the engine, which takes
+// ownership of it (pooled packets are released once fully handled).
+// Call from a single goroutine (the capture or replay loop) — or use
+// per-goroutine Feeders from NewFeeder for parallel ingestion.
+// Packets offered after Stop are ignored.
+func (e *Engine) Process(p *netpkt.Packet) {
+	e.feedMu.Lock()
+	e.feeder.Process(p)
+	e.feedMu.Unlock()
+}
+
+// Drain dispatches the default feeder's buffered batches, waits for
+// every queued packet to be analyzed, then analyzes the unfinished
+// tail of every in-progress flow and resets per-flow state. Unlike
+// the batch pipeline's Flush, the engine stays live: the next trace
+// (or the next packet of live capture) can follow immediately.
+// Callers feeding through their own Feeders must Flush each of them
+// first. No-op after Stop.
 func (e *Engine) Drain() {
 	if e.stopped.Load() {
 		return
 	}
+	e.feedMu.Lock()
+	e.feeder.Flush()
+	e.feedMu.Unlock()
 	var wg sync.WaitGroup
 	wg.Add(len(e.shards))
 	c := &ctl{wg: &wg}
@@ -311,12 +335,17 @@ func (e *Engine) Drain() {
 	wg.Wait()
 }
 
-// Stop drains in-flight work, analyzes remaining flow tails, and
-// terminates the shard goroutines. Idempotent and safe to call
-// concurrently with alert and metric reads.
+// Stop dispatches buffered batches, drains in-flight work, analyzes
+// remaining flow tails, and terminates the shard goroutines.
+// Idempotent and safe to call concurrently with alert and metric
+// reads. Feeders created with NewFeeder must not be fed during Stop
+// (their Flush afterwards is safe: batches are released, not sent).
 func (e *Engine) Stop() {
 	e.stopOnce.Do(func() {
+		e.feedMu.Lock()
+		e.feeder.Flush()
 		e.stopped.Store(true)
+		e.feedMu.Unlock()
 		for _, s := range e.shards {
 			close(s.in)
 		}
@@ -355,9 +384,13 @@ func (e *Engine) Snapshot() Metrics {
 	for i, s := range e.shards {
 		m.FlowsActive += int(s.flows.Load())
 		m.BufferedBytes += int(s.bytes.Load())
+		queued := int(s.queued.Load())
+		if queued < 0 {
+			queued = 0
+		}
 		m.Shards[i] = ShardMetrics{
-			QueueLen:      len(s.in),
-			QueueCap:      cap(s.in),
+			QueueLen:      queued,
+			QueueCap:      e.cfg.QueueDepth,
 			PacketsPerSec: math.Float64frombits(s.ewmaPPS.Load()),
 		}
 	}

@@ -312,3 +312,60 @@ func TestDrainSurvivesAcrossTraces(t *testing.T) {
 		t.Errorf("packet accepted after stop: %d alerts", got)
 	}
 }
+
+// TestFeederFlushAfterStop pins the straggler contract: a parallel
+// feeder holding a partial batch may Flush after Stop — the batch is
+// released, not sent to the closed shard queues.
+func TestFeederFlushAfterStop(t *testing.T) {
+	e := New(Config{Classify: classify.Config{Disabled: true}, Shards: 2})
+	f := e.NewFeeder()
+	f.Process(udpTo(netip.MustParseAddr("10.6.0.1"), 4444, []byte("partial batch content"), 100))
+	e.Stop()
+	f.Flush() // must not panic
+	f.Process(udpTo(netip.MustParseAddr("10.6.0.2"), 4445, []byte("late"), 200))
+}
+
+// TestShedRingExhaustionAllocates pins the shed-policy fix: an empty
+// batch ring with queue room is not overload — packets must still get
+// through (feeders merely pinning partial batches is not saturation).
+func TestShedRingExhaustionAllocates(t *testing.T) {
+	e := New(Config{
+		Classify:   classify.Config{Disabled: true},
+		Shards:     1,
+		QueueDepth: 64,
+		BatchSize:  8,
+		Overload:   PolicyShed,
+	})
+	defer e.Stop()
+	s := e.shards[0]
+	// Pin every ring buffer, simulating feeders holding partials.
+	var pinned []*pktBatch
+	for {
+		b := func() *pktBatch {
+			select {
+			case b := <-s.free:
+				return b
+			default:
+				return nil
+			}
+		}()
+		if b == nil {
+			break
+		}
+		pinned = append(pinned, b)
+	}
+	for i := 0; i < 10; i++ {
+		e.Process(udpTo(netip.AddrFrom4([4]byte{10, 7, 0, byte(i)}), uint16(5000+i), []byte("must not be shed"), uint64(1000+i)))
+	}
+	e.Drain()
+	m := e.Snapshot()
+	if m.Dropped != 0 {
+		t.Errorf("dropped %d packets with an empty ring but queue room", m.Dropped)
+	}
+	if m.Selected != 10 {
+		t.Errorf("selected = %d, want 10", m.Selected)
+	}
+	for _, b := range pinned {
+		s.putBatch(b)
+	}
+}

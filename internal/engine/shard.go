@@ -13,12 +13,11 @@ import (
 	"semnids/internal/sem"
 )
 
-// shardMsg is one unit of shard input: a selected packet, or a
-// control barrier.
+// shardMsg is one unit of shard input: a batch of selected packets,
+// or a control barrier.
 type shardMsg struct {
-	pkt    *netpkt.Packet
-	reason classify.Reason
-	ctl    *ctl
+	batch *pktBatch
+	ctl   *ctl
 }
 
 // ctl is a drain barrier: each shard flushes its flow state and
@@ -48,6 +47,15 @@ type shard struct {
 	in   chan shardMsg
 	done chan struct{}
 
+	// batchCap is the dispatch granularity; free is the ring of batch
+	// buffers shuttling between feeders and this shard. queued counts
+	// the packets currently enqueued or being processed (exact, for
+	// the Snapshot gauge — batch counts would overstate occupancy by
+	// up to batchCap under trickle traffic).
+	batchCap int
+	free     chan *pktBatch
+	queued   atomic.Int64
+
 	asm          *reasm.Assembler
 	lastAnalyzed map[netpkt.FlowKey]int
 	meta         map[netpkt.FlowKey]flowInfo
@@ -67,19 +75,31 @@ type shard struct {
 }
 
 func newShard(e *Engine, id int) *shard {
+	batchCap := e.cfg.BatchSize
+	queueBatches := e.cfg.QueueDepth / batchCap
+	if queueBatches < 1 {
+		queueBatches = 1
+	}
 	s := &shard{
 		eng:          e,
 		id:           id,
-		in:           make(chan shardMsg, e.cfg.QueueDepth),
+		in:           make(chan shardMsg, queueBatches),
 		done:         make(chan struct{}),
+		batchCap:     batchCap,
+		free:         make(chan *pktBatch, queueBatches+2),
 		asm:          reasm.New(),
 		lastAnalyzed: make(map[netpkt.FlowKey]int),
 		meta:         make(map[netpkt.FlowKey]flowInfo),
 		seen:         make(map[alertKey]bool),
 	}
+	for i := 0; i < cap(s.free); i++ {
+		s.free <- &pktBatch{entries: make([]batchEntry, 0, batchCap)}
+	}
 	// Evicted flows (idle, over-budget, or reassembler capacity) get
 	// their unanalyzed tail analyzed and their side state released —
 	// eviction bounds memory, it never silently discards evidence.
+	// Analysis here is synchronous, so the stream buffer goes straight
+	// back to the assembler's pool.
 	s.asm.SetEvictHandler(func(st *reasm.Stream) {
 		if len(st.Data) > s.lastAnalyzed[st.Key] {
 			info := s.meta[st.Key]
@@ -94,6 +114,7 @@ func newShard(e *Engine, id int) *shard {
 				SrcPort: st.Key.SrcPort, DstPort: st.Key.DstPort,
 			})
 		}
+		s.asm.Recycle(st.Data)
 	})
 	return s
 }
@@ -105,7 +126,15 @@ func (s *shard) run() {
 			s.flushFlows()
 			msg.ctl.wg.Done()
 		} else {
-			s.handle(msg.pkt, msg.reason)
+			for i := range msg.batch.entries {
+				en := &msg.batch.entries[i]
+				s.handle(en.pkt, en.reason)
+				en.pkt.Release()
+				*en = batchEntry{}
+			}
+			s.queued.Add(-int64(len(msg.batch.entries)))
+			msg.batch.entries = msg.batch.entries[:0]
+			s.putBatch(msg.batch)
 		}
 		s.flows.Store(int64(s.asm.FlowCount()))
 		s.bytes.Store(int64(s.asm.TotalBytes()))
@@ -158,7 +187,11 @@ func (s *shard) handle(p *netpkt.Packet, reason classify.Reason) {
 		s.analyze(stream.Data, flow, reason, p.TimestampUS)
 	}
 	if stream.Finished {
-		s.asm.Close(flow)
+		// Analysis of the final view (above) is synchronous, so the
+		// closed flow's buffer is immediately reusable.
+		if closed := s.asm.Close(flow); closed != nil {
+			s.asm.Recycle(closed.Data)
+		}
 		delete(s.lastAnalyzed, flow)
 		delete(s.meta, flow)
 	}
@@ -221,6 +254,7 @@ func (s *shard) flushFlows() {
 			info := s.meta[st.Key]
 			s.analyze(st.Data, st.Key, info.reason, info.ts)
 		}
+		s.asm.Recycle(st.Data)
 	}
 	clear(s.lastAnalyzed)
 	clear(s.meta)
@@ -258,6 +292,10 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 	if e.cache != nil || tap != nil {
 		fp = fingerprintOf(f.Data)
 	}
+	// f.Code is only non-nil when the extraction stage already decoded
+	// the frame (code-ratio estimate); otherwise pass nil so the
+	// analyzer uses its pooled scratch cache instead of allocating a
+	// fresh decode cache per frame.
 	var ds []sem.Detection
 	if e.cache != nil {
 		if cached, ok := e.cache.get(fp); ok {
@@ -265,11 +303,11 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 			ds = cached
 		} else {
 			e.m.cacheMisses.Add(1)
-			ds = e.analyzer.AnalyzeFrameCached(f.Data, f.DecodeCache())
+			ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
 			e.cache.put(fp, ds)
 		}
 	} else {
-		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.DecodeCache())
+		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
 	}
 	if tap != nil {
 		tap(core.Event{

@@ -143,7 +143,10 @@ func (e *Env) InvalidateAll() {
 	for i := range e.regs {
 		e.regs[i] = regVal{}
 	}
-	e.stack = nil
+	// Truncate rather than nil: stackOK gates every read, and keeping
+	// the backing array lets a reused env track the next lift's stack
+	// without reallocating.
+	e.stack = e.stack[:0]
 	e.stackOK = false
 }
 
@@ -155,7 +158,7 @@ func (e *Env) push(v uint32, known bool) {
 	}
 	if len(e.stack) >= maxTrackedStack {
 		e.stackOK = false
-		e.stack = nil
+		e.stack = e.stack[:0]
 		return
 	}
 	e.stack = append(e.stack, stackVal{v, known})
@@ -174,5 +177,5 @@ func (e *Env) pop() (uint32, bool) {
 // breakStack abandons symbolic stack tracking (unmodeled ESP use).
 func (e *Env) breakStack() {
 	e.stackOK = false
-	e.stack = nil
+	e.stack = e.stack[:0]
 }

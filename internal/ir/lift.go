@@ -102,6 +102,11 @@ type Program struct {
 
 	// threaded is reusable scratch for the threaded instruction order.
 	threaded []x86.Inst
+
+	// stackBuf is the evaluator's reusable symbolic-stack storage,
+	// threaded through analyzeInto so repeated lifts do not re-grow
+	// the tracked-push buffer every time.
+	stackBuf []stackVal
 }
 
 // Lift analyzes a decoded instruction stream: it computes the threaded
@@ -120,14 +125,17 @@ func Lift(insts []x86.Inst) *Program {
 // size.
 func (p *Program) Reuse(insts []x86.Inst) {
 	p.threaded = x86.ThreadOrderAppend(p.threaded[:0], insts)
-	p.Nodes = analyzeInto(p.Nodes[:0], p.threaded)
-	p.Raw = analyzeInto(p.Raw[:0], insts)
+	p.Nodes, p.stackBuf = analyzeInto(p.Nodes[:0], p.threaded, p.stackBuf)
+	p.Raw, p.stackBuf = analyzeInto(p.Raw[:0], insts, p.stackBuf)
 }
 
 // analyzeInto runs the abstract evaluator over insts in the given
 // order, appending the resulting nodes to the caller-managed slice.
-func analyzeInto(nodes []Node, insts []x86.Inst) []Node {
+// stackBuf seeds the evaluator's symbolic stack; the (possibly grown)
+// buffer is returned for the next lift to reuse.
+func analyzeInto(nodes []Node, insts []x86.Inst, stackBuf []stackVal) ([]Node, []stackVal) {
 	env := NewEnv()
+	env.stack = stackBuf[:0]
 	base := len(nodes)
 	for i := range insts {
 		in := &insts[i]
@@ -135,7 +143,7 @@ func analyzeInto(nodes []Node, insts []x86.Inst) []Node {
 		computeDefsUses(&nodes[base+i])
 		step(&env, in)
 	}
-	return nodes
+	return nodes, env.stack
 }
 
 // computeDefsUses fills the def/use sets for one instruction.

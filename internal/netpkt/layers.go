@@ -81,6 +81,14 @@ type Packet struct {
 
 	// Timestamp in microseconds since the trace epoch.
 	TimestampUS uint64
+
+	// Pooling state (see PacketPool): the owning pool, the pooled
+	// backing buffer Payload aliases, and the reference count. All
+	// zero for packets built by hand, which makes Retain/Release
+	// no-ops for them.
+	pool *PacketPool
+	buf  *[]byte
+	refs int32
 }
 
 // FlowKey identifies one direction of a transport flow.
@@ -210,30 +218,39 @@ func (p *Packet) Serialize() []byte {
 // and non-IPv4 packets return ErrBadVersion; transports other than
 // TCP/UDP are returned with the raw IP payload.
 func Parse(frame []byte) (*Packet, error) {
-	if len(frame) < 14 {
-		return nil, ErrTruncated
-	}
 	p := &Packet{}
+	if err := parseInto(p, frame); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseInto is Parse decoding into caller-provided (typically pooled)
+// storage. Layer fields are overwritten; pooling state is preserved.
+func parseInto(p *Packet, frame []byte) error {
+	if len(frame) < 14 {
+		return ErrTruncated
+	}
 	copy(p.DstMAC[:], frame[0:6])
 	copy(p.SrcMAC[:], frame[6:12])
 	p.EtherType = binary.BigEndian.Uint16(frame[12:14])
 	if p.EtherType != EtherTypeIPv4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	ip := frame[14:]
 	if len(ip) < 20 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if ip[0]>>4 != 4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	ihl := int(ip[0]&0xf) * 4
 	if ihl < 20 || len(ip) < ihl {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
 	if totalLen < ihl || totalLen > len(ip) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	p.IPID = binary.BigEndian.Uint16(ip[4:6])
 	p.TTL = ip[8]
@@ -248,7 +265,7 @@ func Parse(frame []byte) (*Packet, error) {
 	switch p.Proto {
 	case ProtoTCP:
 		if len(trans) < 20 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		p.HasTCP = true
 		p.SrcPort = binary.BigEndian.Uint16(trans[0:2])
@@ -257,27 +274,27 @@ func Parse(frame []byte) (*Packet, error) {
 		p.Ack = binary.BigEndian.Uint32(trans[8:12])
 		dataOff := int(trans[12]>>4) * 4
 		if dataOff < 20 || dataOff > len(trans) {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
 		p.Flags = trans[13]
 		p.Window = binary.BigEndian.Uint16(trans[14:16])
 		p.Payload = trans[dataOff:]
 	case ProtoUDP:
 		if len(trans) < 8 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		p.HasUDP = true
 		p.SrcPort = binary.BigEndian.Uint16(trans[0:2])
 		p.DstPort = binary.BigEndian.Uint16(trans[2:4])
 		udpLen := int(binary.BigEndian.Uint16(trans[4:6]))
 		if udpLen < 8 || udpLen > len(trans) {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
 		p.Payload = trans[8:udpLen]
 	default:
 		p.Payload = trans
 	}
-	return p, nil
+	return nil
 }
 
 // VerifyChecksums recomputes the IPv4 header checksum and the

@@ -82,6 +82,10 @@ type PcapReader struct {
 	// so reading a trace does not allocate two slices per packet.
 	rec   [16]byte
 	frame []byte
+
+	// pool, when set, recycles packets and payload buffers through
+	// NextPacket (see SetPool).
+	pool *PacketPool
 }
 
 // NewPcapReader validates the global header.
@@ -149,35 +153,57 @@ func (pr *PcapReader) NextFrame() ([]byte, uint64, error) {
 	return frame, ts, nil
 }
 
+// SetPool attaches a packet pool: subsequent NextPacket calls draw
+// their packet structs and payload buffers from it instead of
+// allocating, and the consumer returns them with Packet.Release once
+// done. Without a pool the historical contract holds — the packet owns
+// a freshly allocated payload and never needs releasing.
+func (pr *PcapReader) SetPool(pl *PacketPool) { pr.pool = pl }
+
 // NextPacket parses the next frame; unparseable frames are skipped
 // (counted in *skipped if non-nil) so a damaged trace does not stop
 // analysis. The returned packet owns its payload and stays valid
-// across subsequent reads.
+// across subsequent reads; if a pool is attached (SetPool), it stays
+// valid until released.
 func (pr *PcapReader) NextPacket(skipped *int) (*Packet, error) {
-	return nextPacket(pr, skipped)
+	return nextPacket(pr, skipped, pr.pool)
 }
 
 // nextPacket implements NextPacket over any frame source, detaching
-// the parsed payload from the source's reused frame buffer.
+// the parsed payload from the source's reused frame buffer — into a
+// pooled buffer when a pool is supplied, a fresh allocation otherwise.
 func nextPacket(fr interface {
 	NextFrame() ([]byte, uint64, error)
-}, skipped *int) (*Packet, error) {
+}, skipped *int, pool *PacketPool) (*Packet, error) {
 	for {
 		frame, ts, err := fr.NextFrame()
 		if err != nil {
 			return nil, err
 		}
-		p, perr := Parse(frame)
+		var p *Packet
+		var perr error
+		if pool != nil {
+			p = pool.Get()
+			if perr = parseInto(p, frame); perr == nil && len(p.Payload) > 0 {
+				pool.attachPayload(p, p.Payload)
+			}
+			if perr != nil {
+				p.Release()
+			}
+		} else {
+			p, perr = Parse(frame)
+			if perr == nil && len(p.Payload) > 0 {
+				// Parse subslices the frame; copy the payload so the
+				// packet survives the next read (and any asynchronous
+				// analysis).
+				p.Payload = append([]byte(nil), p.Payload...)
+			}
+		}
 		if perr != nil {
 			if skipped != nil {
 				*skipped++
 			}
 			continue
-		}
-		// Parse subslices the frame; copy the payload so the packet
-		// survives the next read (and any asynchronous analysis).
-		if len(p.Payload) > 0 {
-			p.Payload = append([]byte(nil), p.Payload...)
 		}
 		p.TimestampUS = ts
 		return p, nil

@@ -64,6 +64,10 @@ type PcapNGReader struct {
 
 	hdr   [8]byte
 	block []byte // reused body buffer
+
+	// pool, when set, recycles packets and payload buffers through
+	// NextPacket (see SetPool).
+	pool *PacketPool
 }
 
 // NewPcapNGReader validates the leading Section Header Block.
@@ -235,10 +239,15 @@ func (pr *PcapNGReader) NextFrame() ([]byte, uint64, error) {
 	}
 }
 
+// SetPool attaches a packet pool: subsequent NextPacket calls draw
+// their packet structs and payload buffers from it, and the consumer
+// returns them with Packet.Release once done.
+func (pr *PcapNGReader) SetPool(pl *PacketPool) { pr.pool = pl }
+
 // NextPacket parses the next frame, skipping unparseable ones; the
-// returned packet owns its payload.
+// returned packet owns its payload (until released, when pooled).
 func (pr *PcapNGReader) NextPacket(skipped *int) (*Packet, error) {
-	return nextPacket(pr, skipped)
+	return nextPacket(pr, skipped, pr.pool)
 }
 
 // TraceReader is a capture stream of either supported trace format.
@@ -248,6 +257,9 @@ type TraceReader interface {
 	NextFrame() ([]byte, uint64, error)
 	// NextPacket parses the next frame, skipping unparseable ones.
 	NextPacket(skipped *int) (*Packet, error)
+	// SetPool recycles packets and payload buffers through a pool;
+	// the consumer releases each packet when done with it.
+	SetPool(*PacketPool)
 }
 
 // NewTraceReader sniffs the capture format from its magic number and

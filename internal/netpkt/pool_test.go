@@ -1,0 +1,160 @@
+package netpkt
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+// tracePayloadPackets builds an in-memory classic pcap with n UDP
+// packets carrying distinct payloads.
+func poolTestTrace(t testing.TB, n int) []byte {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 400)
+	for i := 0; i < n; i++ {
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		p := &Packet{
+			SrcIP: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}), DstIP: netip.AddrFrom4([4]byte{10, 0, 1, 1}),
+			SrcPort: uint16(1024 + i), DstPort: 80,
+			Proto: ProtoUDP, HasUDP: true,
+			Payload: payload, TimestampUS: uint64(i) * 100,
+		}
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPooledReadEquivalence proves pooled reading parses exactly the
+// packets unpooled reading does.
+func TestPooledReadEquivalence(t *testing.T) {
+	trace := poolTestTrace(t, 32)
+
+	plain, err := ReadAll(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := NewPcapReader(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.SetPool(NewPacketPool())
+	i := 0
+	for {
+		p, err := pr.NextPacket(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(plain) {
+			t.Fatal("pooled read returned extra packets")
+		}
+		want := plain[i]
+		if p.Flow() != want.Flow() || p.TimestampUS != want.TimestampUS ||
+			!bytes.Equal(p.Payload, want.Payload) {
+			t.Fatalf("packet %d differs: %v vs %v", i, p.Flow(), want.Flow())
+		}
+		p.Release()
+		i++
+	}
+	if i != len(plain) {
+		t.Fatalf("pooled read returned %d packets, want %d", i, len(plain))
+	}
+}
+
+// TestPooledReadRecycles asserts release actually recycles: two
+// sequential packets reuse the same struct once the first is released.
+func TestPooledReadRecycles(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime randomizes sync.Pool reuse")
+	}
+	trace := poolTestTrace(t, 2)
+	pr, err := NewPcapReader(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.SetPool(NewPacketPool())
+	p1, err := pr.NextPacket(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Release()
+	p2, err := pr.NextPacket(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("released packet struct was not reused")
+	}
+}
+
+// TestRetainRelease pins the refcount semantics: a retained packet
+// survives one release and recycles on the second; hand-built packets
+// ignore both.
+func TestRetainRelease(t *testing.T) {
+	pl := NewPacketPool()
+	p := pl.Get()
+	pl.attachPayload(p, []byte("abc"))
+	p.Retain()
+	p.Release()
+	if p.pool == nil || string(p.Payload) != "abc" {
+		t.Fatal("retained packet was recycled early")
+	}
+	p.Release()
+	if p.pool != nil {
+		t.Fatal("final release did not recycle")
+	}
+
+	manual := &Packet{Payload: []byte("x")}
+	manual.Retain()
+	manual.Release()
+	manual.Release() // must stay a no-op
+	if string(manual.Payload) != "x" {
+		t.Fatal("release touched a hand-built packet")
+	}
+}
+
+// TestPooledReadAllocs pins the point of the pool: reading a warm
+// trace stream allocates ~nothing per packet.
+func TestPooledReadAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; allocation pin not meaningful")
+	}
+	trace := poolTestTrace(t, 64)
+	pool := NewPacketPool()
+	read := func() {
+		pr, err := NewPcapReader(bytes.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.SetPool(pool)
+		for {
+			p, err := pr.NextPacket(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Release()
+		}
+	}
+	read() // warm the pool
+	allocs := testing.AllocsPerRun(20, read)
+	// Reader construction allocates a handful of objects per run; the
+	// 64 packets themselves must add nothing.
+	if allocs > 8 {
+		t.Errorf("pooled trace read allocates %.1f objects per pass over 64 packets", allocs)
+	}
+}

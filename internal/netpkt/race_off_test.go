@@ -1,0 +1,5 @@
+//go:build !race
+
+package netpkt
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package netpkt
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-regression pins are skipped under -race because the race
+// runtime itself allocates and defeats sync.Pool caching.
+const raceEnabled = true

@@ -1,0 +1,98 @@
+package reasm
+
+import (
+	"net/netip"
+	"testing"
+
+	"semnids/internal/netpkt"
+)
+
+func tcpSeg(src byte, seq uint32, payload []byte, flags uint8) *netpkt.Packet {
+	return &netpkt.Packet{
+		SrcIP: netip.AddrFrom4([4]byte{10, 0, 0, src}), DstIP: netip.AddrFrom4([4]byte{10, 0, 1, 1}),
+		SrcPort: 1000 + uint16(src), DstPort: 80,
+		Proto: netpkt.ProtoTCP, HasTCP: true,
+		Seq: seq, Flags: flags, Payload: payload,
+	}
+}
+
+// TestRecycleReusesBuffer proves the explicit buffer hand-back path: a
+// closed flow's data buffer, returned through Recycle, backs the next
+// flow instead of a fresh allocation.
+func TestRecycleReusesBuffer(t *testing.T) {
+	a := New()
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	if s := a.Feed(tcpSeg(1, 100, payload, netpkt.FlagACK)); s == nil {
+		t.Fatal("no stream from first flow")
+	}
+	s := a.Feed(tcpSeg(1, 100+uint32(len(payload)), nil, netpkt.FlagFIN))
+	if s == nil || !s.Finished {
+		t.Fatal("first flow did not finish")
+	}
+	closed := a.Close(s.Key)
+	if closed == nil || len(closed.Data) != len(payload) {
+		t.Fatalf("close returned %v", closed)
+	}
+	first := &closed.Data[:1][0]
+	a.Recycle(closed.Data)
+
+	s2 := a.Feed(tcpSeg(2, 500, payload, netpkt.FlagACK))
+	if s2 == nil || len(s2.Data) != len(payload) {
+		t.Fatalf("no stream from second flow: %v", s2)
+	}
+	if &s2.Data[:1][0] != first {
+		t.Error("recycled buffer was not reused for the next flow")
+	}
+}
+
+// TestRecycleLimits pins the pool's safety valves: nil and oversized
+// buffers are dropped, and the free list is bounded.
+func TestRecycleLimits(t *testing.T) {
+	a := New()
+	a.Recycle(nil)
+	if got := len(a.freeBufs); got != 0 {
+		t.Errorf("nil recycled: free list %d", got)
+	}
+	a.Recycle(make([]byte, 0, maxRecycledBuf+1))
+	if got := len(a.freeBufs); got != 0 {
+		t.Errorf("oversized buffer recycled: free list %d", got)
+	}
+	for i := 0; i < maxFreeBufs+10; i++ {
+		a.Recycle(make([]byte, 16))
+	}
+	if got := len(a.freeBufs); got != maxFreeBufs {
+		t.Errorf("free list grew to %d, cap %d", got, maxFreeBufs)
+	}
+}
+
+// TestFeedSteadyStateAllocs pins the allocation behavior of warm flow
+// churn: with buffers recycled after Close, repeatedly opening,
+// filling and closing a flow must not allocate per cycle.
+func TestFeedSteadyStateAllocs(t *testing.T) {
+	a := New()
+	payload := make([]byte, 1024)
+	cycle := func(src byte) {
+		a.Feed(tcpSeg(src, 10, payload, netpkt.FlagACK))
+		s := a.Feed(tcpSeg(src, 10+uint32(len(payload)), nil, netpkt.FlagFIN))
+		if s == nil {
+			t.Fatal("flow did not report")
+		}
+		if closed := a.Close(s.Key); closed != nil {
+			a.Recycle(closed.Data)
+		}
+	}
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		cycle(byte(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() { cycle(9) })
+	// Map churn costs a little; per-packet stream/buffer allocations
+	// would push this over 2.
+	if allocs > 2 {
+		t.Errorf("flow cycle allocates %.1f objects, want <= 2", allocs)
+	}
+}

@@ -76,6 +76,17 @@ type Stream struct {
 	Rewritten bool
 }
 
+// Pool limits: how many stream-data buffers the assembler retains for
+// reuse, and the largest buffer capacity worth keeping (oversized
+// buffers are dropped so one huge flow cannot pin its worth of memory
+// forever).
+const (
+	maxFreeBufs     = 64
+	maxRecycledBuf  = 1 << 18
+	maxFreeStreams  = 256
+	maxFreePendSegs = 16
+)
+
 // Assembler reassembles many flows concurrently-fed from one goroutine.
 type Assembler struct {
 	flows  map[netpkt.FlowKey]*stream
@@ -87,8 +98,22 @@ type Assembler struct {
 	// for Close or Drain, whose streams are returned to the caller.
 	// The stream's Finished field is false: the flow did not end, the
 	// assembler gave up on it. The handler must not call back into the
-	// assembler.
+	// assembler, with one exception: Recycle, so a handler that
+	// finishes with the evicted data synchronously can return its
+	// buffer.
 	onEvict func(*Stream)
+
+	// res is the reused Feed result: one Stream view handed out per
+	// Feed call instead of one allocation per packet. It is valid
+	// until the next Feed/Close/Drain call.
+	res Stream
+
+	// freeBufs and freeStreams recycle stream-data buffers (returned
+	// by the owner via Recycle) and flow-state structs (recycled
+	// internally when a flow is closed, drained or evicted), so
+	// steady-state flow churn does not allocate.
+	freeBufs    [][]byte
+	freeStreams []*stream
 }
 
 // New returns an empty assembler.
@@ -105,6 +130,60 @@ func (a *Assembler) SetEvictHandler(h func(*Stream)) { a.onEvict = h }
 // feeding; changing the policy mid-flow only affects future segments.
 func (a *Assembler) SetOverlapPolicy(p OverlapPolicy) { a.policy = p }
 
+// Recycle returns a stream-data buffer (the Data of a stream obtained
+// from Close, Drain or the evict handler) to the assembler's free
+// list, to back a future flow without allocating. The caller asserts
+// no live reference to the buffer remains — typically right after
+// synchronously analyzing an evicted or closed stream. Unsuitable
+// buffers are simply dropped.
+func (a *Assembler) Recycle(data []byte) {
+	if data == nil || cap(data) > maxRecycledBuf || len(a.freeBufs) >= maxFreeBufs {
+		return
+	}
+	a.freeBufs = append(a.freeBufs, data[:0])
+}
+
+// getBuf pops a recycled data buffer, or returns nil (append grows
+// from scratch, exactly as an unpooled assembler would).
+func (a *Assembler) getBuf() []byte {
+	if n := len(a.freeBufs); n > 0 {
+		b := a.freeBufs[n-1]
+		a.freeBufs = a.freeBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// getStream pops a recycled flow-state struct (fully reset) or
+// allocates one.
+func (a *Assembler) getStream(key netpkt.FlowKey) *stream {
+	if n := len(a.freeStreams); n > 0 {
+		st := a.freeStreams[n-1]
+		a.freeStreams = a.freeStreams[:n-1]
+		pending := st.pending[:0]
+		*st = stream{key: key, pending: pending}
+		st.data = a.getBuf()
+		return st
+	}
+	return &stream{key: key, data: a.getBuf()}
+}
+
+// putStream recycles a flow-state struct after its removal from the
+// flow table. The data buffer is NOT recycled here — its ownership
+// moved to whoever received the final Stream view; they hand it back
+// through Recycle when done.
+func (a *Assembler) putStream(st *stream) {
+	if len(a.freeStreams) >= maxFreeStreams || cap(st.pending) > maxFreePendSegs {
+		return
+	}
+	st.data = nil
+	for i := range st.pending {
+		st.pending[i] = segment{}
+	}
+	st.pending = st.pending[:0]
+	a.freeStreams = append(a.freeStreams, st)
+}
+
 // TotalBytes reports the bytes currently buffered across all flows
 // (contiguous data plus out-of-order segments).
 func (a *Assembler) TotalBytes() int { return a.bytes }
@@ -114,7 +193,9 @@ func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
 
 // Feed adds a packet to its flow, returning the flow's reassembled
 // stream when this packet completed new contiguous data (nil
-// otherwise). A FIN or RST marks the stream finished.
+// otherwise). A FIN or RST marks the stream finished. The returned
+// Stream is a reused view, valid until the next Feed, Close or Drain
+// call on this assembler; callers that need it longer must copy it.
 func (a *Assembler) Feed(p *netpkt.Packet) *Stream {
 	if !p.HasTCP {
 		return nil
@@ -125,7 +206,7 @@ func (a *Assembler) Feed(p *netpkt.Packet) *Stream {
 		if len(a.flows) >= MaxFlows {
 			a.evictIdle()
 		}
-		st = &stream{key: key}
+		st = a.getStream(key)
 		a.flows[key] = st
 	}
 	st.lastSeen = p.TimestampUS
@@ -165,9 +246,9 @@ func (a *Assembler) result(st *stream, grew bool) *Stream {
 	if len(st.data) == 0 {
 		return nil
 	}
-	s := &Stream{Key: st.key, Data: st.data, Finished: st.finished, Rewritten: st.rewritten}
+	a.res = Stream{Key: st.key, Data: st.data, Finished: st.finished, Rewritten: st.rewritten}
 	st.rewritten = false // reported; the consumer owns the reset now
-	return s
+	return &a.res
 }
 
 // insert merges a segment, returning true if contiguous data grew.
@@ -271,13 +352,19 @@ func appendCapped(dst, src []byte) []byte {
 }
 
 // evict removes one flow, updates the byte accounting, and notifies
-// the evict handler.
+// the evict handler. With no handler attached nobody ever sees the
+// flow's data, so its buffer is recycled directly; with a handler, the
+// handler decides (by calling Recycle when it is done synchronously).
 func (a *Assembler) evict(st *stream) {
 	a.bytes -= st.footprint()
 	delete(a.flows, st.key)
 	if a.onEvict != nil {
-		a.onEvict(&Stream{Key: st.key, Data: st.data, Finished: false})
+		ev := Stream{Key: st.key, Data: st.data, Finished: false}
+		a.onEvict(&ev)
+	} else {
+		a.Recycle(st.data)
 	}
+	a.putStream(st)
 }
 
 // lruOrder returns all streams sorted by last activity, oldest first.
@@ -329,7 +416,10 @@ func (a *Assembler) EvictLRUUntil(budget int) int {
 	return n
 }
 
-// Close removes a finished flow's state and returns its final stream.
+// Close removes a finished flow's state and returns its final stream
+// (a reused view, valid until the next Feed/Close/Drain call). The
+// data buffer's ownership moves to the caller; hand it back with
+// Recycle when done with it.
 func (a *Assembler) Close(key netpkt.FlowKey) *Stream {
 	st := a.flows[key]
 	if st == nil {
@@ -337,25 +427,33 @@ func (a *Assembler) Close(key netpkt.FlowKey) *Stream {
 	}
 	a.bytes -= st.footprint()
 	delete(a.flows, key)
-	if len(st.data) == 0 {
+	data := st.data
+	a.putStream(st)
+	if len(data) == 0 {
+		a.Recycle(data)
 		return nil
 	}
-	return &Stream{Key: key, Data: st.data, Finished: true}
+	a.res = Stream{Key: key, Data: data, Finished: true}
+	return &a.res
 }
 
 // FlowCount reports the number of tracked flows (for metrics).
 func (a *Assembler) FlowCount() int { return len(a.flows) }
 
 // Drain removes and returns every tracked flow's stream (used when a
-// trace ends without FINs on all connections).
+// trace ends without FINs on all connections). Each returned stream's
+// data buffer belongs to the caller; Recycle returns it when done.
 func (a *Assembler) Drain() []*Stream {
 	var out []*Stream
 	for k, st := range a.flows {
 		if len(st.data) > 0 {
 			out = append(out, &Stream{Key: k, Data: st.data, Finished: true})
+		} else {
+			a.Recycle(st.data)
 		}
 		a.bytes -= st.footprint()
 		delete(a.flows, k)
+		a.putStream(st)
 	}
 	return out
 }

@@ -149,7 +149,7 @@ func TestCompiledPrefilterSuperset(t *testing.T) {
 			need = []x86.Opcode{x86.CALL, x86.JMP}
 		}
 		for _, op := range need {
-			if !mask.has(op) {
+			if !mask.Has(op) {
 				t.Errorf("kind %d: prefilter mask missing opcode %v", st.Kind, op)
 			}
 		}

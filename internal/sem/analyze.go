@@ -33,6 +33,23 @@ type Analyzer struct {
 	// MinReturnAddrRun is the number of repeated return-address
 	// dwords required (default 4).
 	MinReturnAddrRun int
+
+	// DisableSweepPrune turns off the sweep-start viability pass (the
+	// per-offset pruning described below) — the ablation baseline, and
+	// the reference the differential tests compare against.
+	DisableSweepPrune bool
+
+	// Sweep-start viability state, built once per template set by
+	// NewAnalyzer: pruneTable encodes each mandatory restricted-
+	// vocabulary statement as a statement bit and each template as the
+	// conjunction of its statement bits; tplBit[i] is the viability
+	// bit of Templates[i] (0 = the template could not be encoded and
+	// is treated as viable everywhere). A sweep offset from which no
+	// flow-unbroken run can satisfy any candidate's conjunction
+	// (x86.DecodeCache.ViableStarts) is skipped without lifting or
+	// matching.
+	pruneTable *x86.ViabilityTable
+	tplBit     []uint64
 }
 
 // NewAnalyzer returns an analyzer over the given templates with
@@ -44,11 +61,58 @@ func NewAnalyzer(tpls []*Template) *Analyzer {
 	for _, t := range tpls {
 		t.Compile()
 	}
-	return &Analyzer{
+	a := &Analyzer{
 		Templates:        tpls,
 		SweepOffsets:     []int{0, 1, 2, 3},
 		ReturnAddrDetect: true,
 		MinReturnAddrRun: 4,
+	}
+	a.buildPrune()
+	return a
+}
+
+// buildPrune assigns one statement bit to each mandatory restricted-
+// vocabulary statement across the template set (up to 64 statements
+// and 64 templates) and builds the viability table driving the
+// sweep-start pass. A template that got no statement bits
+// (unrestricted vocabulary, or bit budget exhausted) ends with
+// tplBit == 0, which makes every offset viable whenever it is a
+// candidate — pruning can only ever skip offsets that provably cannot
+// match.
+func (a *Analyzer) buildPrune() {
+	var masks []x86.OpSet
+	var reqs []uint64
+	a.tplBit = make([]uint64, len(a.Templates))
+	for i, tpl := range a.Templates {
+		if len(reqs) >= 64 {
+			break
+		}
+		ct := tpl.compiled()
+		var req uint64
+		for j := range ct.opNeeds {
+			if len(masks) >= 64 {
+				break
+			}
+			// A statement whose vocabulary includes a run-breaking
+			// opcode could be satisfied by the breaker itself at a run
+			// boundary, which the viability pass cannot see (breakers
+			// reset the run without contributing bits). Skip such
+			// statements — the template keeps its other bits and the
+			// prune stays conservative.
+			if ct.opNeeds[j].Has(x86.BAD) || ct.opNeeds[j].Has(x86.RET) || ct.opNeeds[j].Has(x86.HLT) {
+				continue
+			}
+			req |= 1 << uint(len(masks))
+			masks = append(masks, ct.opNeeds[j])
+		}
+		if req == 0 {
+			continue
+		}
+		a.tplBit[i] = 1 << uint(len(reqs))
+		reqs = append(reqs, req)
+	}
+	if len(masks) > 0 {
+		a.pruneTable = x86.NewViabilityTable(masks, reqs)
 	}
 }
 
@@ -65,10 +129,12 @@ type frameScratch struct {
 }
 
 // candidate pairs a template with its compiled form for the offset
-// loop, after the frame-level prefilter.
+// loop, after the frame-level prefilter. bit carries the template's
+// viability bit for the sweep-start prune (0 = always viable).
 type candidate struct {
 	tpl *Template
 	ct  *compiledTemplate
+	bit uint64
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(frameScratch) }}
@@ -122,7 +188,7 @@ func (a *Analyzer) AnalyzeFrameCached(frame []byte, cache *x86.DecodeCache) []De
 	defer func() { sc.cands = cands[:0] }()
 	names := 0
 candidates:
-	for _, tpl := range a.Templates {
+	for ti, tpl := range a.Templates {
 		ct := tpl.compiled()
 		for _, need := range ct.frameNeeds {
 			if !bytes.Contains(frame, need) {
@@ -139,7 +205,30 @@ candidates:
 		if !dup {
 			names++
 		}
-		cands = append(cands, candidate{tpl, ct})
+		var bit uint64
+		if ti < len(a.tplBit) {
+			bit = a.tplBit[ti]
+		}
+		cands = append(cands, candidate{tpl, ct, bit})
+	}
+
+	// Sweep-start viability: before paying for a sweep's lift and
+	// match work, the memoized chain check (x86.DecodeCache.Viable)
+	// decides whether any flow-unbroken run reachable from the offset
+	// could still satisfy some candidate's mandatory-statement
+	// conjunction; non-viable offsets skip the expensive stages
+	// entirely, and the check shares every decoded byte with the
+	// sweeps themselves. Disabled when any candidate could not be
+	// encoded (tplBit 0 would make every offset viable anyway).
+	pruneWant := uint64(0)
+	if !a.DisableSweepPrune && a.pruneTable != nil && len(a.tplBit) == len(a.Templates) {
+		for i := range cands {
+			if cands[i].bit == 0 {
+				pruneWant = 0
+				break
+			}
+			pruneWant |= cands[i].bit
+		}
 	}
 
 	for _, off := range a.SweepOffsets {
@@ -148,6 +237,9 @@ candidates:
 		}
 		if len(cands) == 0 || len(seen) == names {
 			break
+		}
+		if pruneWant != 0 && !cache.Viable(off, a.pruneTable, pruneWant) {
+			continue
 		}
 		sc.prog.Reuse(cache.Sweep(off))
 		orders := [2]struct {

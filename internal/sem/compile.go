@@ -12,18 +12,10 @@ import (
 // a register copy instead of a map clone on the hot path.
 const maxTemplateVars = 16
 
-// opMask is a bitset over the full Opcode space.
-type opMask [4]uint64
-
-func (m *opMask) add(op x86.Opcode) { m[op>>6] |= 1 << (op & 63) }
-
-func (m *opMask) has(op x86.Opcode) bool { return m[op>>6]&(1<<(op&63)) != 0 }
-
-func (m *opMask) intersects(o *opMask) bool {
-	return m[0]&o[0]|m[1]&o[1]|m[2]&o[2]|m[3]&o[3] != 0
-}
-
-func (m *opMask) isZero() bool { return m[0]|m[1]|m[2]|m[3] == 0 }
+// opMask is a bitset over the full Opcode space (x86.OpSet: the type
+// moved next to the decoder so the sweep-start viability pass can
+// share it).
+type opMask = x86.OpSet
 
 // cstmt is one expanded template statement with its variable references
 // resolved to ids.
@@ -158,45 +150,45 @@ func stmtOpMask(st *Stmt) (opMask, bool) {
 			return m, false // any opcode allowed
 		}
 		for _, op := range st.Ops {
-			m.add(op)
+			m.Add(op)
 		}
 		return m, true
 	case SMemLoad:
-		m.add(x86.MOV)
-		m.add(x86.LODSB)
-		m.add(x86.LODSD)
+		m.Add(x86.MOV)
+		m.Add(x86.LODSB)
+		m.Add(x86.LODSD)
 		return m, true
 	case SMemStore:
-		m.add(x86.MOV)
-		m.add(x86.STOSB)
-		m.add(x86.STOSD)
+		m.Add(x86.MOV)
+		m.Add(x86.STOSB)
+		m.Add(x86.STOSD)
 		return m, true
 	case SAdvance:
 		// Node.Advance only recognizes these opcodes.
-		m.add(x86.INC)
-		m.add(x86.DEC)
-		m.add(x86.ADD)
-		m.add(x86.SUB)
-		m.add(x86.LEA)
+		m.Add(x86.INC)
+		m.Add(x86.DEC)
+		m.Add(x86.ADD)
+		m.Add(x86.SUB)
+		m.Add(x86.LEA)
 		return m, true
 	case SBackEdge:
 		// Opcode.IsCondBranch.
-		m.add(x86.JCC)
-		m.add(x86.LOOP)
-		m.add(x86.LOOPE)
-		m.add(x86.LOOPNE)
-		m.add(x86.JECXZ)
+		m.Add(x86.JCC)
+		m.Add(x86.LOOP)
+		m.Add(x86.LOOPE)
+		m.Add(x86.LOOPNE)
+		m.Add(x86.JECXZ)
 		return m, true
 	case SSyscall:
-		m.add(x86.INT)
+		m.Add(x86.INT)
 		return m, true
 	case SConstInRange:
-		m.add(x86.MOV)
-		m.add(x86.PUSH)
+		m.Add(x86.MOV)
+		m.Add(x86.PUSH)
 		return m, true
 	case SIndirect:
-		m.add(x86.CALL)
-		m.add(x86.JMP)
+		m.Add(x86.CALL)
+		m.Add(x86.JMP)
 		return m, true
 	}
 	return m, false

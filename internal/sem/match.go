@@ -94,7 +94,7 @@ func (m *matcher) reset(nodes []ir.Node, frame []byte) {
 	for i := range nodes {
 		nd := &nodes[i]
 		m.addrIndex[nd.Inst.Addr] = int32(i)
-		m.opsSeen.add(nd.Inst.Op)
+		m.opsSeen.Add(nd.Inst.Op)
 		defs := nd.Defs
 		for f := 0; f < 8; f++ {
 			c := m.defCount[f][i]
@@ -129,7 +129,7 @@ func (m *matcher) lookupAddr(addr int) (int, bool) {
 // acceptable opcode somewhere in the sequence.
 func (m *matcher) canMatch(ct *compiledTemplate) bool {
 	for i := range ct.opNeeds {
-		if !ct.opNeeds[i].intersects(&m.opsSeen) {
+		if !ct.opNeeds[i].Intersects(&m.opsSeen) {
 			return false
 		}
 	}

@@ -1,0 +1,140 @@
+package sem
+
+import (
+	"math/rand"
+	"testing"
+
+	"semnids/internal/exploits"
+	"semnids/internal/polymorph"
+	"semnids/internal/shellcode"
+)
+
+// pruneCorpora is the frame set the viability-prune differential runs
+// over: junk in several sizes, protocol text, real exploit payloads,
+// polymorphic samples and a packed binary — every shape the analyzer
+// sees in production.
+func pruneCorpora(t testing.TB) map[string][]byte {
+	out := map[string][]byte{
+		"junk-64":   junkFrame(11, 64),
+		"junk-512":  junkFrame(12, 512),
+		"junk-4096": junkFrame(13, 4096),
+		"text": []byte("GET /cgi-bin/search?q=hello+world HTTP/1.1\r\n" +
+			"Host: www.example.com\r\nAccept: text/html\r\n\r\n"),
+		"xor-loop": {
+			0x80, 0x36, 0x55, // xor byte [esi], 0x55
+			0x46,       // inc esi
+			0x75, 0xfa, // jnz -6
+		},
+		"netsky": exploits.NetskyBinary(3, 4*1024),
+	}
+	for i, e := range exploits.Table1Exploits() {
+		if i%3 == 0 {
+			out["exploit-"+e.Name] = e.Payload
+		}
+	}
+	eng := polymorph.NewADMmutate(555)
+	for i := 0; i < 3; i++ {
+		s, _, err := eng.Encode(shellcode.ClassicPush().Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["admmutate-"+string(rune('a'+i))] = s
+	}
+	// Text with an embedded run that decodes around the gate boundary.
+	mixed := append([]byte("USER "), make([]byte, 96)...)
+	rand.New(rand.NewSource(99)).Read(mixed[5:])
+	out["mixed"] = mixed
+	return out
+}
+
+// TestSweepPruneDifferential proves the sweep-start viability pass
+// changes no detection: for every corpus frame, the pruned analyzer
+// reports exactly the same detections (template, order, addresses,
+// bindings) as the unpruned baseline.
+func TestSweepPruneDifferential(t *testing.T) {
+	pruned := NewAnalyzer(BuiltinTemplates())
+	baseline := NewAnalyzer(BuiltinTemplates())
+	baseline.DisableSweepPrune = true
+
+	for name, frame := range pruneCorpora(t) {
+		want := baseline.AnalyzeFrame(frame)
+		got := pruned.AnalyzeFrame(frame)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d detections pruned, %d baseline", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() {
+				t.Errorf("%s detection %d: pruned %v, baseline %v", name, i, got[i], want[i])
+			}
+			for k, v := range want[i].Bindings {
+				if got[i].Bindings[k] != v {
+					t.Errorf("%s detection %d binding %s: pruned %s, baseline %s",
+						name, i, k, got[i].Bindings[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepPruneWideOffsets runs the differential with an exhaustive
+// offset list (the fullscan shape) where pruning has the most offsets
+// to skip and the most opportunities to get one wrong.
+func TestSweepPruneWideOffsets(t *testing.T) {
+	offsets := make([]int, 16)
+	for i := range offsets {
+		offsets[i] = i
+	}
+	pruned := NewAnalyzer(BuiltinTemplates())
+	pruned.SweepOffsets = offsets
+	baseline := NewAnalyzer(BuiltinTemplates())
+	baseline.SweepOffsets = offsets
+	baseline.DisableSweepPrune = true
+
+	for name, frame := range pruneCorpora(t) {
+		want := baseline.AnalyzeFrame(frame)
+		got := pruned.AnalyzeFrame(frame)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d detections pruned, %d baseline", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() {
+				t.Errorf("%s detection %d: pruned %v, baseline %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBuildPruneBits checks viability-bit assignment: every builtin
+// template has at least one restricted-vocabulary statement, so every
+// template must end up with a viability bit and the table must exist.
+func TestBuildPruneBits(t *testing.T) {
+	a := NewAnalyzer(BuiltinTemplates())
+	if a.pruneTable == nil {
+		t.Fatal("no prune table built for the builtin set")
+	}
+	for i, bit := range a.tplBit {
+		if bit == 0 {
+			t.Errorf("template %s got no viability bit", a.Templates[i].Name)
+		}
+	}
+}
+
+// TestPruneSkipsHopelessFrame pins that the prune actually fires: a
+// frame whose every run lacks the templates' conjunctions (text with
+// no loop structure) must produce no detections, and an analyzer with
+// an impossible-template-only candidate set must behave identically
+// with pruning on and off.
+func TestPruneSkipsHopelessFrame(t *testing.T) {
+	frame := []byte{0xc3, 0xc3, 0xc3, 0xc3, 0x90, 0x90, 0x90, 0x90}
+	a := NewAnalyzer(BuiltinTemplates())
+	a.ReturnAddrDetect = false
+	if ds := a.AnalyzeFrame(frame); len(ds) != 0 {
+		t.Fatalf("ret/nop frame detected: %v", ds)
+	}
+	b := NewAnalyzer(BuiltinTemplates())
+	b.ReturnAddrDetect = false
+	b.DisableSweepPrune = true
+	if ds := b.AnalyzeFrame(frame); len(ds) != 0 {
+		t.Fatalf("baseline detected: %v", ds)
+	}
+}

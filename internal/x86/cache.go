@@ -44,6 +44,13 @@ type DecodeCache struct {
 	// pooled cache sweeps successive frames without reallocating.
 	used  [][]Inst
 	spare [][]Inst
+
+	// viaChain/segChain memoize the canonical chain's sweep-start
+	// viability tables (see Viable); viaFor records which table built
+	// them.
+	viaChain []uint64
+	segChain []uint64
+	viaFor   *ViabilityTable
 }
 
 // NewDecodeCache returns a cache over b. No decoding happens until the
@@ -67,6 +74,7 @@ func (c *DecodeCache) Reset(b []byte) {
 	clear(c.sweeps)
 	c.spare = append(c.spare, c.used...)
 	c.used = c.used[:0]
+	c.viaFor = nil
 }
 
 // resetIndex returns idx resized to n entries, all -1.

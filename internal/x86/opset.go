@@ -1,0 +1,22 @@
+package x86
+
+// OpSet is a bitset over the Opcode space. The semantic analyzer uses
+// it for opcode-vocabulary prefilters: a template statement that only
+// accepts a restricted set of opcodes contributes an OpSet, and an
+// instruction order that contains no acceptable opcode can be rejected
+// without running the backtracking search.
+type OpSet [4]uint64
+
+// Add inserts op into the set.
+func (m *OpSet) Add(op Opcode) { m[op>>6] |= 1 << (op & 63) }
+
+// Has reports whether op is in the set.
+func (m *OpSet) Has(op Opcode) bool { return m[op>>6]&(1<<(op&63)) != 0 }
+
+// Intersects reports whether the two sets share any opcode.
+func (m *OpSet) Intersects(o *OpSet) bool {
+	return m[0]&o[0]|m[1]&o[1]|m[2]&o[2]|m[3]&o[3] != 0
+}
+
+// IsZero reports whether the set is empty.
+func (m *OpSet) IsZero() bool { return m[0]|m[1]|m[2]|m[3] == 0 }

@@ -278,6 +278,11 @@ type IncidentMetrics = incident.Metrics
 type Engine struct {
 	inner *engine.Engine
 	corr  *incident.Correlator
+
+	// pool recycles packet structs and payload buffers across every
+	// trace fed through Run/Replay — one pool for the engine's
+	// lifetime, so back-to-back traces reuse warm buffers.
+	pool *netpkt.PacketPool
 }
 
 // NewEngine validates the configuration and starts a streaming
@@ -312,6 +317,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		ecfg.OnEvent = e.corr.Publish
 	}
 	e.inner = engine.New(ecfg)
+	e.pool = netpkt.NewPacketPool()
 	return e, nil
 }
 
@@ -354,6 +360,11 @@ func (e *Engine) feed(r io.Reader, speed float64) error {
 	if err != nil {
 		return err
 	}
+	// Packets and payload buffers cycle through the engine's pool: the
+	// shard that finishes with a packet releases it back for the
+	// reader to reuse, so the capture loop allocates nothing per
+	// packet in steady state — across traces, not just within one.
+	tr.SetPool(e.pool)
 	var (
 		started bool
 		firstTS uint64
