@@ -1,0 +1,117 @@
+// Command fedmerge folds N sensors' incident-evidence exports into
+// one deterministic incident report — the paper's "further action"
+// taken at network scale, where semantic detections from many tap
+// points converge on the offending sources.
+//
+// Usage:
+//
+//	fedmerge [-json] [-o merged.evidence] a.evidence b.evidence ...
+//
+// Each input is an evidence export written by `semnids -export` (or a
+// durable-sink segment, or a previous fedmerge -o output — merges
+// compose). The merge is commutative and idempotent, so feeding the
+// same export twice, or merging in any order, yields byte-identical
+// output; every evidence record keeps the sensor IDs that observed
+// it, so a federated incident stays traceable to its witnesses. All
+// inputs must share the correlation parameters (fan-out window,
+// threshold, evidence caps) they were gathered under.
+//
+// The incident report prints as the kill-chain table (or JSONL with
+// -json); -o additionally writes the merged evidence export for
+// further federation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semnids/internal/fed"
+	"semnids/internal/incident"
+	"semnids/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit merged incidents as JSONL instead of the table")
+		outPath = flag.String("o", "", "write the merged evidence export to this file")
+		quiet   = flag.Bool("q", false, "suppress the incident report (with -o: merge only)")
+	)
+	flag.Parse()
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "fedmerge: no evidence exports given")
+		flag.Usage()
+		return 2
+	}
+
+	merged, err := readExport(paths[0])
+	if err != nil {
+		return fail(err)
+	}
+	for _, path := range paths[1:] {
+		next, err := readExport(path)
+		if err != nil {
+			return fail(err)
+		}
+		if merged, err = fed.Merge(merged, next); err != nil {
+			return fail(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	if !*quiet {
+		incidents, err := incident.DeriveIncidents(merged)
+		if err != nil {
+			return fail(err)
+		}
+		if *jsonOut {
+			if err := report.WriteIncidentsJSON(os.Stdout, incidents); err != nil {
+				return fail(err)
+			}
+		} else {
+			fmt.Printf("sensors: %s  sources: %d\n\n",
+				strings.Join(merged.Sensors, ","), len(merged.Sources))
+			if err := report.WriteIncidents(os.Stdout, incidents); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fail(err)
+		}
+		err = fed.WriteExport(f, merged)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+func readExport(path string) (*incident.EvidenceExport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ex, err := fed.ReadExport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ex, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "fedmerge:", err)
+	return 1
+}

@@ -7,6 +7,7 @@
 //	        [-all] [-fullscan] [-workers N]
 //	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
 //	        [-correlate] [-incident-window 30s] [-stats]
+//	        [-sensor ID] [-export FILE] [-import-incidents FILE] [-export-dir DIR]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -all the classifier is disabled and every payload is analyzed
@@ -20,6 +21,14 @@
 // -incident-window; incidents print as a table, or as JSONL after the
 // alerts with -json. -stats prints per-shard load gauges (EWMA
 // packets/sec, queue depth) and correlator counters.
+//
+// Federation (each of these implies -correlate): -export writes the
+// correlator's evidence state — per-source min-K timestamp sets,
+// fingerprints, derived stage, stamped with -sensor for provenance —
+// at exit; -import-incidents seeds the correlator from such an export
+// before the run; -export-dir attaches the durable sink (size/age-
+// rotated evidence segments, crash recovery on restart). Fold several
+// sensors' exports into one report with cmd/fedmerge.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (CPU
 // for its duration, heap at exit), so operators can profile a live
@@ -66,6 +75,10 @@ func run() int {
 		speed      = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
 		correlate  = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
 		incWindow  = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
+		sensor     = flag.String("sensor", "", "sensor ID stamped on exported incident evidence (default \"sensor\")")
+		exportPath = flag.String("export", "", "write the correlator's evidence export here at exit (implies -correlate)")
+		importPath = flag.String("import-incidents", "", "seed the correlator from an evidence export before the run (implies -correlate)")
+		exportDir  = flag.String("export-dir", "", "durable incident sink: rotated evidence segments + crash recovery (implies -correlate)")
 		stats      = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -131,11 +144,16 @@ func run() int {
 		cfg.TemplatesDSL = string(text)
 	}
 
+	if *exportPath != "" || *importPath != "" || *exportDir != "" {
+		*correlate = true
+	}
 	if *stream || *correlate {
 		return runEngine(cfg, *pcapPath, engineOpts{
 			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
 			jsonOut: *jsonOut, summary: *summary, stats: *stats,
 			correlate: *correlate, incidentWindow: *incWindow,
+			sensor: *sensor, exportPath: *exportPath,
+			importPath: *importPath, exportDir: *exportDir,
 		})
 	}
 
@@ -184,6 +202,10 @@ type engineOpts struct {
 	stats          bool
 	correlate      bool
 	incidentWindow time.Duration
+	sensor         string
+	exportPath     string
+	importPath     string
+	exportDir      string
 }
 
 // runEngine feeds the trace through the streaming engine, optionally
@@ -192,17 +214,32 @@ type engineOpts struct {
 // counters — plus live incidents when the correlator is attached.
 func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 	e, err := nids.NewEngine(nids.EngineConfig{
-		Config:         cfg,
-		Shards:         opts.shards,
-		ShedOnOverload: opts.shed,
-		Correlate:      opts.correlate,
-		IncidentWindow: opts.incidentWindow,
+		Config:            cfg,
+		Shards:            opts.shards,
+		ShedOnOverload:    opts.shed,
+		Correlate:         opts.correlate,
+		IncidentWindow:    opts.incidentWindow,
+		SensorID:          opts.sensor,
+		IncidentExportDir: opts.exportDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
 		return 1
 	}
 	defer e.Stop()
+	if opts.importPath != "" {
+		in, err := os.Open(opts.importPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+		err = e.ImportIncidents(in)
+		in.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+	}
 	f, err := os.Open(pcapPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
@@ -244,6 +281,21 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			return 1
 		}
 	}
+	if opts.exportPath != "" {
+		out, err := os.Create(opts.exportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+		err = e.ExportIncidents(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+	}
 	m := e.Stats()
 	fmt.Printf("\npackets=%d selected=%d dropped=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
 		m.Packets, m.Selected, m.Dropped, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
@@ -258,6 +310,11 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			fmt.Printf("correlator: events=%d flow-opens=%d alerts=%d fingerprints=%d sources=%d incidents=%d evicted-lru=%d evicted-idle=%d\n",
 				im.Events, im.FlowOpens, im.Alerts, im.Fingerprints,
 				im.SourcesTracked, im.Incidents, im.SourcesEvictedLRU, im.SourcesEvictedIdle)
+		}
+		if opts.exportDir != "" {
+			sm := e.SinkStats()
+			fmt.Printf("sink: checkpoints=%d rotations=%d dropped=%d errors=%d\n",
+				sm.Checkpoints, sm.Rotations, sm.Dropped, sm.Errors)
 		}
 	}
 	return 0

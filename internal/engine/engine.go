@@ -59,6 +59,12 @@ type Config struct {
 	// set).
 	Templates []*sem.Template
 
+	// SensorID names this engine instance in exported incident
+	// evidence: every evidence record a tap-fed correlator exports
+	// carries it as provenance, so federated merges stay traceable to
+	// the sensor that observed each piece (default "sensor").
+	SensorID string
+
 	// Shards is the number of ingest shards (default: GOMAXPROCS).
 	Shards int
 
@@ -207,6 +213,9 @@ type Engine struct {
 // New builds and starts an engine: its shard goroutines run until
 // Stop.
 func New(cfg Config) *Engine {
+	if cfg.SensorID == "" {
+		cfg.SensorID = "sensor"
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -266,6 +275,10 @@ func New(cfg Config) *Engine {
 // Classifier exposes the shared classification stage (e.g. to
 // pre-register suspicious sources).
 func (e *Engine) Classifier() *classify.Classifier { return e.classifier }
+
+// SensorID returns the engine's federation identity (Config.SensorID
+// after defaulting).
+func (e *Engine) SensorID() string { return e.cfg.SensorID }
 
 // FlowHash maps a directional flow key to a bucket in [0, n) with an
 // FNV-1a hash — the engine's shard-ownership function, exported so

@@ -1,0 +1,54 @@
+package fed
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEvidence hammers the evidence wire decoder with arbitrary
+// bytes: truncated records, corrupt length prefixes, version skew,
+// garbage JSON. The decoder must fail cleanly — no panic, no
+// over-allocation from a hostile length claim (the prefix is bounded
+// before any buffer is sized) — and anything it does accept must
+// re-encode and decode to the same evidence.
+func FuzzDecodeEvidence(f *testing.F) {
+	// Golden exports: small, large, empty.
+	for _, seed := range []struct {
+		seed   int64
+		events int
+	}{{1, 50}, {2, 400}, {3, 0}} {
+		ex := synthExport(f, "sensor-a", seed.seed, seed.events)
+		data := encode(f, ex)
+		f.Add(data)
+		// Truncations of a valid segment.
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)-1])
+	}
+	// Corrupt length prefixes and version skew.
+	f.Add([]byte("9999999 {}\n"))
+	f.Add([]byte("99999999 {}\n"))
+	f.Add([]byte("0 \n"))
+	f.Add([]byte("x7 {}\n"))
+	f.Add([]byte(`96 {"k":"hdr","hdr":{"format":"semnids-evidence","version":99,"window_us":1,"fanout_threshold":1}}` + "\n"))
+	f.Add([]byte(`14 {"k":"ckpt"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ex, err := ReadExport(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: the decode must be re-encodable, and the
+		// canonical encoding must decode to the same evidence.
+		var buf bytes.Buffer
+		if err := WriteExport(&buf, ex); err != nil {
+			t.Fatalf("accepted evidence failed to re-encode: %v", err)
+		}
+		again, err := ReadExport(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if len(again.Sources) != len(ex.Sources) {
+			t.Fatalf("round trip changed source count: %d != %d", len(again.Sources), len(ex.Sources))
+		}
+	})
+}

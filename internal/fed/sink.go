@@ -1,0 +1,386 @@
+package fed
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semnids/internal/incident"
+)
+
+// segPrefix/segSuffix name sink segments: evidence-NNNNNN.seg,
+// ordered by index.
+const (
+	segPrefix = "evidence-"
+	segSuffix = ".seg"
+)
+
+// SinkConfig parameterizes a durable evidence sink.
+type SinkConfig struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+
+	// Export snapshots the correlator's evidence; called from the sink
+	// goroutine only. A nil return skips the checkpoint.
+	Export func() *incident.EvidenceExport
+
+	// RotateBytes rotates to a new segment once the current one grows
+	// past this size (default 1 MiB).
+	RotateBytes int64
+
+	// RotateEvery rotates on segment age, wall clock, so a quiet sensor
+	// still converges on a fresh compact segment (default 1 minute).
+	RotateEvery time.Duration
+
+	// CheckpointEvery writes a checkpoint even without notifications —
+	// the safety net that persists evidence accumulating *below* a
+	// stage transition, like a victim's targeted-by record (default
+	// 10s).
+	CheckpointEvery time.Duration
+
+	// KeepSegments bounds retained rotated segments; older ones are
+	// deleted (default 4, floored at 2 so the previous segment — the
+	// newest one guaranteed to hold a committed checkpoint — always
+	// survives a rotation).
+	KeepSegments int
+}
+
+func (cfg SinkConfig) withDefaults() SinkConfig {
+	if cfg.RotateBytes <= 0 {
+		cfg.RotateBytes = 1 << 20
+	}
+	if cfg.RotateEvery <= 0 {
+		cfg.RotateEvery = time.Minute
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10 * time.Second
+	}
+	if cfg.KeepSegments <= 0 {
+		cfg.KeepSegments = 4
+	} else if cfg.KeepSegments == 1 {
+		cfg.KeepSegments = 2
+	}
+	return cfg
+}
+
+// SinkMetrics is a snapshot of sink counters.
+type SinkMetrics struct {
+	// Checkpoints counts committed evidence snapshots; Rotations
+	// counts segment rollovers.
+	Checkpoints, Rotations uint64
+
+	// Dropped counts notifications that found the trigger queue full.
+	// Nothing is lost — checkpoints are full snapshots, so a dropped
+	// trigger coalesces into the one already pending — but a climbing
+	// count means the sink is writing slower than stages are rising.
+	Dropped uint64
+
+	// Errors counts failed checkpoint writes (the sink keeps running
+	// and retries on the next trigger).
+	Errors uint64
+}
+
+// Sink persists correlator evidence to size/age-rotated segment
+// files. Notify is non-blocking and drop-counted, so the correlator's
+// notify path never stalls on disk I/O; Close writes a final
+// checkpoint. Recovery after a crash is Recover's job.
+type Sink struct {
+	cfg SinkConfig
+
+	trigger chan struct{}
+	closing chan struct{}
+	done    chan struct{}
+	once    sync.Once
+
+	m struct {
+		checkpoints, rotations, dropped, errors atomic.Uint64
+	}
+
+	// Writer state, sink goroutine only.
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64
+	openedAt time.Time
+	seq      uint64
+	segIndex int
+
+	// committedSeg is the newest segment index known to hold a
+	// committed checkpoint: pruning spares it, so rotation can never
+	// delete the only recoverable state while the fresh segment holds
+	// just a header. Initialized to the newest surviving segment from
+	// a previous process (best effort: that is what Recover would try
+	// first).
+	committedSeg int
+}
+
+// OpenSink creates (or reuses) the segment directory and starts the
+// sink goroutine. New segments never clobber survivors from an
+// earlier process: numbering resumes after the newest existing
+// segment, which is exactly what Recover will read.
+func OpenSink(cfg SinkConfig) (*Sink, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("fed: sink needs a directory")
+	}
+	if cfg.Export == nil {
+		return nil, fmt.Errorf("fed: sink needs an Export snapshot function")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sink{
+		cfg:          cfg,
+		trigger:      make(chan struct{}, 1),
+		closing:      make(chan struct{}),
+		done:         make(chan struct{}),
+		committedSeg: -1,
+	}
+	if len(segs) > 0 {
+		s.segIndex = segs[len(segs)-1].index + 1
+		s.committedSeg = segs[len(segs)-1].index
+	}
+	go s.run()
+	return s, nil
+}
+
+// Notify requests a checkpoint. Never blocks: a request arriving
+// while one is already pending coalesces (counted in
+// Metrics().Dropped). Safe from any goroutine, including the
+// correlator's notify path.
+func (s *Sink) Notify() {
+	select {
+	case s.trigger <- struct{}{}:
+	default:
+		s.m.dropped.Add(1)
+	}
+}
+
+// Close writes a final checkpoint and closes the current segment.
+// Idempotent.
+func (s *Sink) Close() {
+	s.once.Do(func() {
+		close(s.closing)
+		<-s.done
+	})
+}
+
+// Metrics returns current sink counters.
+func (s *Sink) Metrics() SinkMetrics {
+	return SinkMetrics{
+		Checkpoints: s.m.checkpoints.Load(),
+		Rotations:   s.m.rotations.Load(),
+		Dropped:     s.m.dropped.Load(),
+		Errors:      s.m.errors.Load(),
+	}
+}
+
+func (s *Sink) run() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closing:
+			s.checkpoint()
+			s.closeSegment()
+			return
+		case <-s.trigger:
+		case <-tick.C:
+		}
+		s.checkpoint()
+	}
+}
+
+// checkpoint snapshots the evidence and appends one committed group,
+// rotating first when the current segment is over size or age.
+func (s *Sink) checkpoint() {
+	ex := s.cfg.Export()
+	if ex == nil {
+		return
+	}
+	if s.f == nil || s.size >= s.cfg.RotateBytes || time.Since(s.openedAt) >= s.cfg.RotateEvery {
+		if err := s.rotate(ex); err != nil {
+			s.m.errors.Add(1)
+			return
+		}
+	}
+	s.seq++
+	if err := s.append(ex); err != nil {
+		s.m.errors.Add(1)
+		// The segment tail is now suspect: force a fresh segment on the
+		// next checkpoint rather than appending after a partial group.
+		s.closeSegment()
+		return
+	}
+	s.committedSeg = s.segIndex - 1
+	s.m.checkpoints.Add(1)
+}
+
+// rotate closes the current segment, opens the next, writes its
+// header, and prunes old segments.
+func (s *Sink) rotate(ex *incident.EvidenceExport) error {
+	s.closeSegment()
+	var f *os.File
+	for {
+		var err error
+		f, err = os.OpenFile(filepath.Join(s.cfg.Dir, segName(s.segIndex)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return err
+		}
+		// Someone else owns this name (a concurrent process, a
+		// survivor the startup scan raced). Never reuse it — advance
+		// and retry, or the sink would wedge on the same name forever.
+		s.segIndex++
+	}
+	s.f = f
+	s.bw = bufio.NewWriter(f)
+	s.size = 0
+	s.openedAt = time.Now()
+	s.segIndex++
+	s.m.rotations.Add(1)
+	if err := s.writeFrames(func(bw *bufio.Writer) error {
+		return writeRecord(bw, &wireRecord{Kind: kindHeader, Hdr: headerFor(ex)})
+	}); err != nil {
+		s.closeSegment()
+		return err
+	}
+	s.prune()
+	return nil
+}
+
+// append writes one committed checkpoint group and syncs it to disk.
+func (s *Sink) append(ex *incident.EvidenceExport) error {
+	return s.writeFrames(func(bw *bufio.Writer) error {
+		return writeCheckpoint(bw, s.seq, ex.Sources)
+	})
+}
+
+// writeFrames runs one framed write against the current segment,
+// flushing, syncing and accounting its size.
+func (s *Sink) writeFrames(write func(*bufio.Writer) error) error {
+	if s.f == nil {
+		return fmt.Errorf("fed: no open segment")
+	}
+	if err := write(s.bw); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	size, err := s.f.Seek(0, 2)
+	if err != nil {
+		return err
+	}
+	s.size = size
+	return nil
+}
+
+func (s *Sink) closeSegment() {
+	if s.f == nil {
+		return
+	}
+	s.bw.Flush()
+	s.f.Sync()
+	s.f.Close()
+	s.f, s.bw = nil, nil
+}
+
+// prune deletes segments beyond the retention budget, oldest first —
+// but never the newest segment known to hold a committed checkpoint:
+// until the freshly-rotated segment commits its first checkpoint, the
+// previous one is the only recoverable state, and deleting it would
+// turn a crash in that window into total evidence loss.
+func (s *Sink) prune() {
+	segs, err := listSegments(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	excess := len(segs) - s.cfg.KeepSegments
+	for _, seg := range segs {
+		if excess <= 0 {
+			return
+		}
+		if seg.index == s.committedSeg {
+			continue
+		}
+		os.Remove(filepath.Join(s.cfg.Dir, seg.name))
+		excess--
+	}
+}
+
+type segment struct {
+	name  string
+	index int
+}
+
+func segName(index int) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, index, segSuffix)
+}
+
+// listSegments returns the directory's segments sorted oldest first.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &idx); err != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, index: idx})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// Recover loads the newest recoverable evidence state from a sink
+// directory: segments are tried newest first, and within a segment
+// the newest committed checkpoint wins — so a crash mid-rotation or
+// mid-checkpoint (a partial final segment) falls back to the last
+// state that was durably committed. Returns (nil, nil) when there is
+// nothing to recover (no directory, no segments, or no segment with a
+// committed checkpoint — a sensor that never completed a write starts
+// fresh rather than failing to start).
+func Recover(dir string) (*incident.EvidenceExport, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(dir, segs[i].name))
+		if err != nil {
+			continue
+		}
+		ex, err := ReadExport(f)
+		f.Close()
+		if err == nil {
+			return ex, nil
+		}
+	}
+	return nil, nil
+}

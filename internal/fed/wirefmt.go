@@ -1,0 +1,284 @@
+// Package fed federates incident evidence across sensors: a
+// versioned, length-prefixed JSONL wire format for the correlator's
+// evidence exports, a durable size/age-rotated sink with crash
+// recovery (so a long-running sensor survives restarts with its
+// attacker state intact), and a commutative, idempotent merge that
+// folds N sensors' exports into one deterministic incident report.
+//
+// Wire format. A segment is a stream of framed records:
+//
+//	<len> <json>\n
+//
+// where <len> is the decimal byte length of the JSON document (ASCII,
+// at most 7 digits, bounded by MaxRecordBytes so a corrupt prefix can
+// never drive an over-allocation) and the JSON document is a
+// wireRecord envelope. The first record of a segment is a header
+// ("hdr": format name, version, sensor provenance, correlation
+// parameters). Evidence follows in checkpoint groups — a "ckpt" mark,
+// the per-source "src" records, then an "end" commit mark echoing the
+// checkpoint sequence and count. A group missing its commit mark (a
+// crash mid-write, a truncated copy) is ignored by the decoder, which
+// returns the newest *committed* checkpoint; the framing makes
+// truncation detectable at every byte.
+package fed
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"semnids/internal/incident"
+)
+
+const (
+	// FormatName identifies evidence segments.
+	FormatName = "semnids-evidence"
+	// Version is the wire version this build reads and writes. A
+	// decoder rejects any other major version (version skew must be an
+	// error, never a misparse).
+	Version = 1
+	// MaxRecordBytes bounds one framed record: the decoder refuses
+	// larger claims before allocating.
+	MaxRecordBytes = 1 << 20
+
+	maxLenDigits = 7
+)
+
+// Record kinds.
+const (
+	kindHeader     = "hdr"
+	kindCheckpoint = "ckpt"
+	kindSource     = "src"
+	kindCommit     = "end"
+)
+
+// header is the first record of every segment.
+type header struct {
+	Format          string                  `json:"format"`
+	Version         int                     `json:"version"`
+	Sensors         []string                `json:"sensors"`
+	WindowUS        uint64                  `json:"window_us"`
+	FanoutThreshold int                     `json:"fanout_threshold"`
+	Limits          incident.EvidenceLimits `json:"limits"`
+}
+
+// checkpointMark opens ("ckpt") and commits ("end") one evidence
+// snapshot of Count source records.
+type checkpointMark struct {
+	Seq   uint64 `json:"seq"`
+	Count int    `json:"count"`
+}
+
+// wireRecord is the JSON envelope behind every frame.
+type wireRecord struct {
+	Kind string                   `json:"k"`
+	Hdr  *header                  `json:"hdr,omitempty"`
+	Ckpt *checkpointMark          `json:"ckpt,omitempty"`
+	Src  *incident.SourceEvidence `json:"src,omitempty"`
+	End  *checkpointMark          `json:"end,omitempty"`
+}
+
+// ErrNoCheckpoint reports a segment with a valid header but no
+// committed checkpoint — a sensor that crashed before its first
+// complete write.
+var ErrNoCheckpoint = errors.New("fed: segment has no committed checkpoint")
+
+// writeRecord frames one record.
+func writeRecord(w *bufio.Writer, rec *wireRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxRecordBytes {
+		return fmt.Errorf("fed: record of %d bytes exceeds the %d-byte wire bound", len(data), MaxRecordBytes)
+	}
+	if _, err := fmt.Fprintf(w, "%d ", len(data)); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// readRecord decodes one frame. io.EOF means a clean end between
+// records; any other error means the stream is corrupt or truncated
+// at this record.
+func readRecord(br *bufio.Reader) (*wireRecord, error) {
+	n := 0
+	digits := 0
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && digits == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("fed: truncated length prefix: %w", err)
+		}
+		if b == ' ' {
+			if digits == 0 {
+				return nil, errors.New("fed: empty length prefix")
+			}
+			break
+		}
+		if b < '0' || b > '9' {
+			return nil, fmt.Errorf("fed: bad length prefix byte %q", b)
+		}
+		digits++
+		if digits > maxLenDigits {
+			return nil, errors.New("fed: oversized length prefix")
+		}
+		n = n*10 + int(b-'0')
+	}
+	if n == 0 || n > MaxRecordBytes {
+		return nil, fmt.Errorf("fed: record length %d outside (0, %d]", n, MaxRecordBytes)
+	}
+	buf := make([]byte, n+1)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("fed: truncated record: %w", err)
+	}
+	if buf[n] != '\n' {
+		return nil, errors.New("fed: record missing terminator")
+	}
+	rec := &wireRecord{}
+	if err := json.Unmarshal(buf[:n], rec); err != nil {
+		return nil, fmt.Errorf("fed: bad record JSON: %w", err)
+	}
+	return rec, nil
+}
+
+// headerFor renders an export's parameters as a segment header.
+func headerFor(ex *incident.EvidenceExport) *header {
+	return &header{
+		Format:          FormatName,
+		Version:         Version,
+		Sensors:         ex.Sensors,
+		WindowUS:        ex.WindowUS,
+		FanoutThreshold: ex.FanoutThreshold,
+		Limits:          ex.Limits,
+	}
+}
+
+// writeCheckpoint appends one committed evidence snapshot.
+func writeCheckpoint(w *bufio.Writer, seq uint64, sources []incident.SourceEvidence) error {
+	mark := &checkpointMark{Seq: seq, Count: len(sources)}
+	if err := writeRecord(w, &wireRecord{Kind: kindCheckpoint, Ckpt: mark}); err != nil {
+		return err
+	}
+	for i := range sources {
+		if err := writeRecord(w, &wireRecord{Kind: kindSource, Src: &sources[i]}); err != nil {
+			return err
+		}
+	}
+	return writeRecord(w, &wireRecord{Kind: kindCommit, End: mark})
+}
+
+// WriteExport serializes an evidence export as one complete segment:
+// header plus a single committed checkpoint.
+func WriteExport(w io.Writer, ex *incident.EvidenceExport) error {
+	bw := bufio.NewWriter(w)
+	if err := writeRecord(bw, &wireRecord{Kind: kindHeader, Hdr: headerFor(ex)}); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(bw, 1, ex.Sources); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadExport decodes a segment, returning the newest committed
+// checkpoint as an evidence export. Corruption or truncation after a
+// committed checkpoint is tolerated (the committed state is
+// returned); a segment with no committed checkpoint, a bad header, or
+// a version this build does not speak is an error.
+func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
+	br := bufio.NewReader(r)
+	rec, err := readRecord(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, errors.New("fed: empty segment")
+		}
+		return nil, err
+	}
+	if rec.Kind != kindHeader || rec.Hdr == nil {
+		return nil, fmt.Errorf("fed: segment does not start with a header (got %q)", rec.Kind)
+	}
+	hdr := rec.Hdr
+	if hdr.Format != FormatName {
+		return nil, fmt.Errorf("fed: unknown format %q", hdr.Format)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("fed: wire version %d not supported (this build speaks %d)", hdr.Version, Version)
+	}
+	// Correlation parameters are part of the evidence semantics: a
+	// zero window, threshold or cap describes no correlator this
+	// build can run, so a crafted or hand-edited header fails here,
+	// not deeper in derivation.
+	if hdr.WindowUS == 0 || hdr.FanoutThreshold <= 0 ||
+		hdr.Limits.MaxDestinations <= 0 || hdr.Limits.MaxAlerts <= 0 ||
+		hdr.Limits.MaxFingerprints <= 0 || hdr.Limits.MaxVictims <= 0 {
+		return nil, fmt.Errorf("fed: header carries invalid correlation parameters (window=%d fanout=%d limits=%+v)",
+			hdr.WindowUS, hdr.FanoutThreshold, hdr.Limits)
+	}
+
+	ex := &incident.EvidenceExport{
+		Sensors:         hdr.Sensors,
+		WindowUS:        hdr.WindowUS,
+		FanoutThreshold: hdr.FanoutThreshold,
+		Limits:          hdr.Limits,
+	}
+	var committed []incident.SourceEvidence
+	haveCommit := false
+
+	var pending []incident.SourceEvidence
+	var open *checkpointMark
+	for {
+		rec, err := readRecord(br)
+		if err != nil {
+			// Clean EOF between records ends the segment; anything else
+			// is a truncated tail — either way the newest committed
+			// checkpoint stands.
+			break
+		}
+		switch rec.Kind {
+		case kindCheckpoint:
+			if rec.Ckpt == nil || rec.Ckpt.Count < 0 {
+				open, pending = nil, nil
+				continue
+			}
+			open = rec.Ckpt
+			pending = pending[:0]
+		case kindSource:
+			if open == nil || rec.Src == nil || len(pending) >= open.Count {
+				open, pending = nil, nil
+				continue
+			}
+			pending = append(pending, *rec.Src)
+		case kindCommit:
+			if open == nil || rec.End == nil || rec.End.Seq != open.Seq || rec.End.Count != open.Count || len(pending) != open.Count {
+				open, pending = nil, nil
+				continue
+			}
+			committed = append(committed[:0], pending...)
+			haveCommit = true
+			open, pending = nil, nil
+		default:
+			// Unknown minor-format record: skip (framing still holds).
+		}
+	}
+	if !haveCommit {
+		return nil, ErrNoCheckpoint
+	}
+	ex.Sources = committed
+	return ex, nil
+}
+
+// Merge federates two evidence exports — the union of their evidence
+// under shared caps, propagation re-derived across sensors,
+// provenance preserved per record. Commutative and idempotent; see
+// incident.MergeExports for the semantics.
+func Merge(a, b *incident.EvidenceExport) (*incident.EvidenceExport, error) {
+	return incident.MergeExports(a, b)
+}

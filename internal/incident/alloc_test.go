@@ -1,0 +1,45 @@
+package incident
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestMinKSetTiebreakAllocs pins the min-K eviction tiebreak at zero
+// allocations, mirroring the engine's ingest pin. The old evictBefore
+// rendered both keys with fmt.Sprint — two string allocations per
+// comparison — on exactly the paths a saturated evidence set hits
+// constantly: the cached-max rejection of too-new inserts and the
+// full-scan max recomputation after a displacement.
+func TestMinKSetTiebreakAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; allocation pin not meaningful")
+	}
+	s := newMinKSet[netip.Addr](lessAddr)
+	// Saturate: cap 3, equal timestamps, so every further put goes
+	// through the tiebreak comparison.
+	for i := 1; i <= 3; i++ {
+		s.put(addr(i), 7, 3)
+	}
+	probe := make([]netip.Addr, 64)
+	for i := range probe {
+		probe[i] = addr(200 + i) // sorts after every retained key
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		// Rejection path: ts ties the cached max, key sorts after it.
+		for _, a := range probe {
+			s.put(a, 7, 3)
+		}
+		// Recompute path: full scan with a tie comparison per key.
+		s.maxValid = false
+		s.recomputeMax()
+	})
+	if allocs != 0 {
+		t.Fatalf("min-K tiebreak allocates %.1f objects/run, want 0 (typed comparison regressed?)", allocs)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ok := s.get(addr(i)); !ok {
+			t.Fatalf("retained set lost %v", addr(i))
+		}
+	}
+}

@@ -43,16 +43,21 @@ type Config struct {
 
 	// MaxFingerprints caps per-source payload-identity evidence —
 	// fingerprints the source was attacked with and fingerprints it
-	// emitted (default 64 each). Emitted fingerprints retain the
-	// minimum-timestamp K (order-independent); the attacked-with map
-	// and its per-fingerprint attacker lists admit in arrival order
-	// once full, so determinism across shard counts is guaranteed
-	// only while a victim's distinct attack-payload count stays
-	// within this cap — the bounded-memory compromise.
+	// emitted (default 64 each). Emitted fingerprints and the
+	// per-fingerprint attacker lists retain the minimum-timestamp K
+	// (order-independent); the attacked-with map itself admits in
+	// arrival order once full, so determinism across shard counts is
+	// guaranteed only while a victim's distinct attack-payload count
+	// stays within this cap — the bounded-memory compromise.
 	MaxFingerprints int
 
 	// MaxVictims caps per-source propagation victims (default 16).
 	MaxVictims int
+
+	// MaxAlerts caps per-source alert evidence — distinct (timestamp,
+	// destination, template) observations under a min-timestamp-K cap
+	// (default 128). The rendered alert count saturates here.
+	MaxAlerts int
 
 	// MaxCompleted caps retained finalized incidents (default 1024;
 	// oldest are dropped first).
@@ -93,6 +98,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxVictims <= 0 {
 		cfg.MaxVictims = 16
+	}
+	if cfg.MaxAlerts <= 0 {
+		cfg.MaxAlerts = 128
 	}
 	if cfg.MaxCompleted <= 0 {
 		cfg.MaxCompleted = 1024
@@ -280,14 +288,15 @@ func (c *Correlator) apply(ev core.Event) {
 		s := c.source(ev.Src, ev.TimestampUS)
 		s.touchContent(ev.TimestampUS)
 		s.dests.put(ev.Dst, ev.TimestampUS, c.cfg.MaxDestinations)
-		s.alerts++
+		s.alertTimes.put(alertKey{tsUS: ev.TimestampUS, dst: ev.Dst, template: ev.Template},
+			ev.TimestampUS, c.cfg.MaxAlerts)
 		if s.exploitAt == 0 || ev.TimestampUS < s.exploitAt {
 			s.exploitAt = ev.TimestampUS
 		}
 		if severityRank[ev.Severity] > severityRank[s.severity] {
 			s.severity = ev.Severity
 		}
-		if len(s.templates) < 64 || s.templates[ev.Template] {
+		if len(s.templates) < maxTemplates || s.templates[ev.Template] {
 			s.templates[ev.Template] = true
 		}
 		if !ev.Fingerprint.IsZero() {
@@ -297,18 +306,7 @@ func (c *Correlator) apply(ev core.Event) {
 			// out of order across shards), the link closes now.
 			v := c.source(ev.Dst, ev.TimestampUS)
 			refs, present := v.targetedBy[ev.Fingerprint]
-			known := false
-			for i := range refs {
-				if refs[i].attacker == ev.Src {
-					if ev.TimestampUS < refs[i].tsUS {
-						refs[i].tsUS = ev.TimestampUS
-					}
-					known = true
-				}
-			}
-			if !known && len(refs) < maxAttackersPerFingerprint {
-				refs = append(refs, attackRef{attacker: ev.Src, tsUS: ev.TimestampUS})
-			}
+			refs = addAttackerRef(refs, ev.Src, ev.TimestampUS, maxAttackersPerFingerprint)
 			if present || len(v.targetedBy) < c.cfg.MaxFingerprints {
 				v.targetedBy[ev.Fingerprint] = refs
 			}
@@ -371,10 +369,21 @@ func echoTime(sp span, t1 uint64) uint64 {
 // point depends on cross-shard arrival order, but echoTS is derived
 // from order-independent evidence (echoTime over the folded span),
 // and the min-folds below converge to the same values in every
-// interleaving. The attacker's own activity span is left alone —
-// echo arrival maxima are not evidence about the attacker.
+// interleaving. The attacker's own activity span and last-seen clock
+// are left alone — echo maxima are derived instants, not observations
+// of the attacker, and folding them would make the exported evidence
+// depend on which intermediate echoes an interleaving happened to
+// produce (the zero timestamp refreshes recency without touching the
+// clock).
 func (c *Correlator) escalate(attacker, victim netip.Addr, echoTS uint64) {
-	a := c.source(attacker, echoTS)
+	a := c.source(attacker, 0)
+	// Sweep bookkeeping: the attacker is demonstrably still relevant
+	// at the current trace time, so the idle sweep must not finalize
+	// it mid-outbreak (which would resurrect it as a fresh skeleton on
+	// the next echo and double-announce the incident).
+	if c.maxTS > a.echoUS {
+		a.echoUS = c.maxTS
+	}
 	if a.propagationAt == 0 || echoTS < a.propagationAt {
 		a.propagationAt = echoTS
 	}
@@ -395,11 +404,12 @@ func (c *Correlator) source(src netip.Addr, ts uint64) *sourceState {
 		}
 		s = &sourceState{
 			src:        src,
-			dests:      newMinKSet[netip.Addr](),
+			dests:      newMinKSet[netip.Addr](lessAddr),
+			alertTimes: newMinKSet[alertKey](lessAlertKey),
 			templates:  make(map[string]bool),
 			targetedBy: make(map[core.Fingerprint][]attackRef),
-			emitted:    newMinKSet[core.Fingerprint](),
-			victims:    newMinKSet[netip.Addr](),
+			emitted:    newMinKSet[core.Fingerprint](lessFingerprint),
+			victims:    newMinKSet[netip.Addr](lessAddr),
 		}
 		s.elem = c.lru.PushFront(s)
 		c.sources[src] = s
@@ -449,7 +459,7 @@ func (c *Correlator) maybeSweep() {
 			return
 		}
 		s := back.Value.(*sourceState)
-		if s.lastSeenUS >= cutoff {
+		if s.lastSeenUS >= cutoff || s.echoUS >= cutoff {
 			return
 		}
 		c.finalize(s)

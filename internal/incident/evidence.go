@@ -1,0 +1,538 @@
+package incident
+
+import (
+	"container/list"
+	"fmt"
+	"maps"
+	"net/netip"
+	"sort"
+
+	"semnids/internal/core"
+)
+
+// This file is the federation half of the correlator: a source's
+// evidence state as a plain serializable value (SourceEvidence), a
+// sensor-level snapshot of all of them (EvidenceExport), and the
+// operations federation needs — export, import (crash recovery and
+// sensor seeding), and a commutative, idempotent merge.
+//
+// The design constraint comes from the correlator's determinism
+// invariant: evidence is a *set* (min-timestamp-K caps, min/max scalar
+// folds), never a function of arrival order, so two sensors that each
+// saw part of a trace can union their evidence and re-derive the same
+// incidents a single sensor would have produced — byte-identical,
+// within the configured caps. Every record carries per-sensor
+// provenance (Sensors), so merged evidence stays traceable to the
+// sensors that observed it — the identifiable-parent property for
+// evidence sets: collusion-style merging never launders the origin.
+
+// EvidenceLimits are the per-source evidence caps an export was
+// produced under. Merging requires identical limits on both sides:
+// the caps are part of the determinism contract (a min-K set capped
+// at 256 and one capped at 64 can disagree even on shared evidence).
+type EvidenceLimits struct {
+	MaxDestinations int `json:"max_destinations"`
+	MaxAlerts       int `json:"max_alerts"`
+	MaxFingerprints int `json:"max_fingerprints"`
+	MaxVictims      int `json:"max_victims"`
+}
+
+// DestEvidence is one destination's observation span (also used for
+// propagation victims: the span of qualifying payload echoes).
+type DestEvidence struct {
+	Addr    netip.Addr `json:"addr"`
+	FirstUS uint64     `json:"first_us"`
+	LastUS  uint64     `json:"last_us"`
+}
+
+// AlertEvidence is one retained alert observation.
+type AlertEvidence struct {
+	TsUS     uint64     `json:"ts_us"`
+	Dst      netip.Addr `json:"dst"`
+	Template string     `json:"template,omitempty"`
+}
+
+// AttackerRef names an attacker that delivered a payload to this
+// source, with the earliest delivery time.
+type AttackerRef struct {
+	Attacker netip.Addr `json:"attacker"`
+	TsUS     uint64     `json:"ts_us"`
+}
+
+// FingerprintAttackers is the victim-side propagation evidence for
+// one payload identity.
+type FingerprintAttackers struct {
+	Fingerprint core.Fingerprint `json:"fp"`
+	Refs        []AttackerRef    `json:"refs"`
+}
+
+// FingerprintSpan is the emission span of one payload identity.
+type FingerprintSpan struct {
+	Fingerprint core.Fingerprint `json:"fp"`
+	FirstUS     uint64           `json:"first_us"`
+	LastUS      uint64           `json:"last_us"`
+}
+
+// VictimEvidence is one propagation victim with its canonical
+// (earliest qualifying) echo time. Deliberately not a span: the
+// in-memory victim set's upper bound folds whichever intermediate
+// echo values the event interleaving produced — arrival-order noise
+// the determinism contract excludes (rendering uses membership and
+// the minimum only), so the wire format carries just the canonical
+// instant.
+type VictimEvidence struct {
+	Addr   netip.Addr `json:"addr"`
+	EchoUS uint64     `json:"echo_us"`
+}
+
+// SourceEvidence is one source's full evidence state, rendered as a
+// deterministic value: every slice is sorted under the same total
+// orders the in-memory caps use, so the same evidence always
+// serializes to the same bytes.
+type SourceEvidence struct {
+	Src netip.Addr `json:"src"`
+
+	// Sensors is the provenance set: every sensor whose observation
+	// (or exported evidence) contributed to this record. Sorted.
+	Sensors []string `json:"sensors,omitempty"`
+
+	// Stage is the stage derived from this evidence at export time —
+	// informational (re-derived after any merge), never folded.
+	Stage string `json:"stage"`
+
+	FirstUS    uint64 `json:"first_us,omitempty"`
+	LastUS     uint64 `json:"last_us,omitempty"`
+	LastSeenUS uint64 `json:"last_seen_us,omitempty"`
+
+	Dests  []DestEvidence  `json:"dests,omitempty"`
+	Alerts []AlertEvidence `json:"alerts,omitempty"`
+
+	ExploitAtUS uint64   `json:"exploit_at_us,omitempty"`
+	Severity    string   `json:"severity,omitempty"`
+	Templates   []string `json:"templates,omitempty"`
+
+	TargetedBy []FingerprintAttackers `json:"targeted_by,omitempty"`
+	Emitted    []FingerprintSpan      `json:"emitted,omitempty"`
+
+	PropagationAtUS uint64           `json:"propagation_at_us,omitempty"`
+	Victims         []VictimEvidence `json:"victims,omitempty"`
+}
+
+// EvidenceExport is one sensor's evidence snapshot (or the merge of
+// several sensors'): the correlation parameters the evidence was
+// gathered under, plus every tracked source's evidence, sorted by
+// source address.
+type EvidenceExport struct {
+	Sensors         []string
+	WindowUS        uint64
+	FanoutThreshold int
+	Limits          EvidenceLimits
+	Sources         []SourceEvidence
+}
+
+// limits snapshots the correlator's evidence caps.
+func (c *Correlator) limits() EvidenceLimits {
+	return EvidenceLimits{
+		MaxDestinations: c.cfg.MaxDestinations,
+		MaxAlerts:       c.cfg.MaxAlerts,
+		MaxFingerprints: c.cfg.MaxFingerprints,
+		MaxVictims:      c.cfg.MaxVictims,
+	}
+}
+
+// cloneLocked deep-copies the evidence for rendering outside the
+// correlator lock: map copies only — the expensive part of an export
+// (sorting, slice building) must not run under c.mu, which the event
+// apply path contends for. Called with mu held.
+func (s *sourceState) cloneLocked() *sourceState {
+	cp := &sourceState{
+		src:           s.src,
+		firstUS:       s.firstUS,
+		lastUS:        s.lastUS,
+		lastSeenUS:    s.lastSeenUS,
+		dests:         minKSet[netip.Addr]{m: maps.Clone(s.dests.m), less: s.dests.less},
+		alertTimes:    minKSet[alertKey]{m: maps.Clone(s.alertTimes.m), less: s.alertTimes.less},
+		exploitAt:     s.exploitAt,
+		severity:      s.severity,
+		templates:     maps.Clone(s.templates),
+		targetedBy:    make(map[core.Fingerprint][]attackRef, len(s.targetedBy)),
+		emitted:       minKSet[core.Fingerprint]{m: maps.Clone(s.emitted.m), less: s.emitted.less},
+		propagationAt: s.propagationAt,
+		victims:       minKSet[netip.Addr]{m: maps.Clone(s.victims.m), less: s.victims.less},
+		sensors:       maps.Clone(s.sensors),
+	}
+	for fp, refs := range s.targetedBy {
+		cp.targetedBy[fp] = append([]attackRef(nil), refs...)
+	}
+	return cp
+}
+
+// Export snapshots every live source's evidence under the given
+// sensor ID. Safe concurrently with correlation, and cheap to run
+// concurrently: the lock is held only for map copies, while rendering
+// and sorting — the bulk of the work on a full source table — happen
+// outside it (the durable sink calls this periodically from its own
+// goroutine). Finalized (completed) incidents are rendered verdicts,
+// not evidence, and are not exported — export before finalization
+// (or size SourceIdleUS/MaxSources for the deployment) if every
+// source must survive a restart.
+func (c *Correlator) Export(sensor string) *EvidenceExport {
+	c.mu.Lock()
+	clones := make([]*sourceState, 0, len(c.sources))
+	for _, s := range c.sources {
+		clones = append(clones, s.cloneLocked())
+	}
+	c.mu.Unlock()
+
+	ex := &EvidenceExport{
+		Sensors:         []string{sensor},
+		WindowUS:        c.cfg.WindowUS,
+		FanoutThreshold: c.cfg.FanoutThreshold,
+		Limits:          c.limits(),
+		Sources:         make([]SourceEvidence, 0, len(clones)),
+	}
+	for _, s := range clones {
+		ex.Sources = append(ex.Sources, s.export(sensor, c.cfg.WindowUS, c.cfg.FanoutThreshold))
+	}
+	sort.Slice(ex.Sources, func(i, j int) bool { return ex.Sources[i].Src.Less(ex.Sources[j].Src) })
+	return ex
+}
+
+// export renders one source's evidence as a SourceEvidence value.
+func (s *sourceState) export(sensor string, windowUS uint64, threshold int) SourceEvidence {
+	ev := SourceEvidence{
+		Src:             s.src,
+		Stage:           s.stage(windowUS, threshold).String(),
+		FirstUS:         s.firstUS,
+		LastUS:          s.lastUS,
+		LastSeenUS:      s.lastSeenUS,
+		ExploitAtUS:     s.exploitAt,
+		Severity:        s.severity,
+		PropagationAtUS: s.propagationAt,
+	}
+	seen := map[string]bool{sensor: true}
+	ev.Sensors = append(ev.Sensors, sensor)
+	for sn := range s.sensors {
+		if !seen[sn] {
+			seen[sn] = true
+			ev.Sensors = append(ev.Sensors, sn)
+		}
+	}
+	sort.Strings(ev.Sensors)
+
+	for k, sp := range s.dests.m {
+		ev.Dests = append(ev.Dests, DestEvidence{Addr: k, FirstUS: sp.first, LastUS: sp.last})
+	}
+	sort.Slice(ev.Dests, func(i, j int) bool { return ev.Dests[i].Addr.Less(ev.Dests[j].Addr) })
+
+	for k := range s.alertTimes.m {
+		ev.Alerts = append(ev.Alerts, AlertEvidence{TsUS: k.tsUS, Dst: k.dst, Template: k.template})
+	}
+	sort.Slice(ev.Alerts, func(i, j int) bool {
+		a, b := ev.Alerts[i], ev.Alerts[j]
+		return lessAlertKey(alertKey{a.TsUS, a.Dst, a.Template}, alertKey{b.TsUS, b.Dst, b.Template})
+	})
+
+	for t := range s.templates {
+		ev.Templates = append(ev.Templates, t)
+	}
+	sort.Strings(ev.Templates)
+
+	for fp, refs := range s.targetedBy {
+		fa := FingerprintAttackers{Fingerprint: fp, Refs: make([]AttackerRef, 0, len(refs))}
+		for _, r := range refs {
+			fa.Refs = append(fa.Refs, AttackerRef{Attacker: r.attacker, TsUS: r.tsUS})
+		}
+		sort.Slice(fa.Refs, func(i, j int) bool { return fa.Refs[i].Attacker.Less(fa.Refs[j].Attacker) })
+		ev.TargetedBy = append(ev.TargetedBy, fa)
+	}
+	sort.Slice(ev.TargetedBy, func(i, j int) bool {
+		return lessFingerprint(ev.TargetedBy[i].Fingerprint, ev.TargetedBy[j].Fingerprint)
+	})
+
+	for fp, sp := range s.emitted.m {
+		ev.Emitted = append(ev.Emitted, FingerprintSpan{Fingerprint: fp, FirstUS: sp.first, LastUS: sp.last})
+	}
+	sort.Slice(ev.Emitted, func(i, j int) bool {
+		return lessFingerprint(ev.Emitted[i].Fingerprint, ev.Emitted[j].Fingerprint)
+	})
+
+	for v, sp := range s.victims.m {
+		ev.Victims = append(ev.Victims, VictimEvidence{Addr: v, EchoUS: sp.first})
+	}
+	sort.Slice(ev.Victims, func(i, j int) bool { return ev.Victims[i].Addr.Less(ev.Victims[j].Addr) })
+	return ev
+}
+
+// compatible checks an export was produced under this correlator's
+// correlation parameters; folding evidence gathered under different
+// windows or caps would silently break the determinism contract.
+func (c *Correlator) compatible(ex *EvidenceExport) error {
+	if ex.WindowUS != c.cfg.WindowUS || ex.FanoutThreshold != c.cfg.FanoutThreshold {
+		return fmt.Errorf("incident: export window/fanout %d/%d incompatible with correlator %d/%d",
+			ex.WindowUS, ex.FanoutThreshold, c.cfg.WindowUS, c.cfg.FanoutThreshold)
+	}
+	if ex.Limits != c.limits() {
+		return fmt.Errorf("incident: export limits %+v incompatible with correlator %+v", ex.Limits, c.limits())
+	}
+	return nil
+}
+
+// parseStage maps a serialized stage name back to its value; unknown
+// names are StageNone (conservative: an unknown stage is treated as
+// not yet announced).
+func parseStage(name string) Stage {
+	switch name {
+	case "RECON":
+		return StageRecon
+	case "EXPLOIT":
+		return StageExploit
+	case "PROPAGATION":
+		return StagePropagation
+	}
+	return StageNone
+}
+
+// Import folds an evidence export into the live correlator: each
+// record unions into the matching source's evidence under the same
+// caps live events use, then propagation is re-derived across the
+// imported sources — the step that closes attacker↔victim links whose
+// two halves were observed by different sensors. The notification
+// gate is quieted only up to the stage each record itself had already
+// derived (recovery does not re-announce); a stage that only the
+// merged evidence proves — a fan-out completed by union, a
+// cross-sensor propagation link — fires OnIncident/subscribers as a
+// live transition would. Idempotent: importing the same export twice
+// changes nothing.
+func (c *Correlator) Import(ex *EvidenceExport) error {
+	if err := c.compatible(ex); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	touched := make([]*sourceState, 0, len(ex.Sources))
+	for i := range ex.Sources {
+		rec := &ex.Sources[i]
+		s := c.importSource(rec)
+		touched = append(touched, s)
+		// Quiet only what the record had already announced on its own
+		// sensor…
+		if st := parseStage(rec.Stage); st > s.notified {
+			if s.notified == StageNone {
+				c.m.incidents.Add(1)
+			}
+			s.notified = st
+		}
+	}
+	// …then announce anything the evidence union proves beyond the
+	// records, and re-derive propagation, which may raise stages
+	// further (cross-sensor links).
+	for _, s := range touched {
+		c.notify(s)
+	}
+	for _, s := range touched {
+		c.rederivePropagation(s)
+	}
+	return nil
+}
+
+// importSource folds one record into its source state under the
+// configured caps. Every fold is commutative and idempotent — min-K
+// puts, min/max scalars, set unions — mirroring apply()'s handling of
+// the corresponding live events.
+func (c *Correlator) importSource(rec *SourceEvidence) *sourceState {
+	s := c.source(rec.Src, rec.LastSeenUS)
+	if rec.FirstUS > 0 {
+		s.touchContent(rec.FirstUS)
+	}
+	if rec.LastUS > 0 {
+		s.touchContent(rec.LastUS)
+	}
+	for _, sn := range rec.Sensors {
+		if s.sensors == nil {
+			s.sensors = make(map[string]bool, len(rec.Sensors))
+		}
+		s.sensors[sn] = true
+	}
+	for _, d := range rec.Dests {
+		s.dests.put(d.Addr, d.FirstUS, c.cfg.MaxDestinations)
+		s.dests.put(d.Addr, d.LastUS, c.cfg.MaxDestinations)
+	}
+	for _, a := range rec.Alerts {
+		s.alertTimes.put(alertKey{tsUS: a.TsUS, dst: a.Dst, template: a.Template}, a.TsUS, c.cfg.MaxAlerts)
+	}
+	if rec.ExploitAtUS > 0 && (s.exploitAt == 0 || rec.ExploitAtUS < s.exploitAt) {
+		s.exploitAt = rec.ExploitAtUS
+	}
+	if severityRank[rec.Severity] > severityRank[s.severity] {
+		s.severity = rec.Severity
+	}
+	for _, t := range rec.Templates {
+		if len(s.templates) < maxTemplates || s.templates[t] {
+			s.templates[t] = true
+		}
+	}
+	for _, fa := range rec.TargetedBy {
+		refs, present := s.targetedBy[fa.Fingerprint]
+		for _, r := range fa.Refs {
+			refs = addAttackerRef(refs, r.Attacker, r.TsUS, maxAttackersPerFingerprint)
+		}
+		if present || len(s.targetedBy) < c.cfg.MaxFingerprints {
+			s.targetedBy[fa.Fingerprint] = refs
+		}
+	}
+	for _, e := range rec.Emitted {
+		s.emitted.put(e.Fingerprint, e.FirstUS, c.cfg.MaxFingerprints)
+		s.emitted.put(e.Fingerprint, e.LastUS, c.cfg.MaxFingerprints)
+	}
+	if rec.PropagationAtUS > 0 && (s.propagationAt == 0 || rec.PropagationAtUS < s.propagationAt) {
+		s.propagationAt = rec.PropagationAtUS
+	}
+	for _, v := range rec.Victims {
+		s.victims.put(v.Addr, v.EchoUS, c.cfg.MaxVictims)
+	}
+	return s
+}
+
+// rederivePropagation re-runs the propagation check over one source's
+// victim-side evidence, escalating every attacker whose delivered
+// payload this source's folded emission span postdates — the same
+// verdict apply() reaches event by event, recomputed from merged
+// evidence. The victim record's provenance travels with the verdict:
+// the sensors that witnessed the victim's evidence are the witnesses
+// of the attacker's escalation, so even an attacker synthesized
+// purely from victim-side evidence can name them. Called with mu
+// held.
+func (c *Correlator) rederivePropagation(v *sourceState) {
+	for fp, refs := range v.targetedBy {
+		sp, ok := v.emitted.get(fp)
+		if !ok {
+			continue
+		}
+		for _, ref := range refs {
+			if sp.last > ref.tsUS {
+				c.escalate(ref.attacker, v.src, echoTime(sp, ref.tsUS))
+				if len(v.sensors) > 0 {
+					a := c.sources[ref.attacker]
+					if a.sensors == nil {
+						a.sensors = make(map[string]bool, len(v.sensors))
+					}
+					for sn := range v.sensors {
+						a.sensors[sn] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// mergeLimit is the MaxSources setting for merge scratch correlators:
+// effectively unbounded, so a merge never LRU-finalizes evidence
+// mid-fold.
+const mergeLimit = 1 << 30
+
+// newMergeState builds a correlator shell for offline evidence math:
+// same state, same fold code, no goroutine (nothing is published to
+// it and Stop must not be called).
+func newMergeState(ex *EvidenceExport) *Correlator {
+	return &Correlator{
+		cfg: Config{
+			WindowUS:        ex.WindowUS,
+			FanoutThreshold: ex.FanoutThreshold,
+			MaxSources:      mergeLimit,
+			MaxDestinations: ex.Limits.MaxDestinations,
+			MaxAlerts:       ex.Limits.MaxAlerts,
+			MaxFingerprints: ex.Limits.MaxFingerprints,
+			MaxVictims:      ex.Limits.MaxVictims,
+		}.withDefaults(),
+		sources: make(map[netip.Addr]*sourceState),
+		lru:     list.New(),
+		subs:    make(map[int]chan Incident),
+	}
+}
+
+// MergeExports federates two sensors' evidence: the union of their
+// per-source evidence sets under the shared caps, with propagation
+// re-derived across the merged evidence (closing links whose halves
+// were observed by different sensors) and per-record provenance
+// preserved. Commutative and idempotent — Merge(A,B)==Merge(B,A) and
+// Merge(A,A)==A — because every constituent fold is; both exports
+// must carry identical correlation parameters. The determinism
+// guarantee is the correlator's own: byte-identical to a single
+// sensor that saw the whole trace, for evidence within the caps.
+func MergeExports(a, b *EvidenceExport) (*EvidenceExport, error) {
+	if a.WindowUS != b.WindowUS || a.FanoutThreshold != b.FanoutThreshold || a.Limits != b.Limits {
+		return nil, fmt.Errorf("incident: cannot merge exports with different correlation parameters: %d/%d/%+v vs %d/%d/%+v",
+			a.WindowUS, a.FanoutThreshold, a.Limits, b.WindowUS, b.FanoutThreshold, b.Limits)
+	}
+	c := newMergeState(a)
+	if err := c.Import(a); err != nil {
+		return nil, err
+	}
+	if err := c.Import(b); err != nil {
+		return nil, err
+	}
+	merged := c.exportMerged()
+	merged.Sensors = unionSensors(a.Sensors, b.Sensors)
+	return merged, nil
+}
+
+// exportMerged renders a merge correlator's state without stamping a
+// local sensor: provenance comes entirely from the merged records.
+func (c *Correlator) exportMerged() *EvidenceExport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ex := &EvidenceExport{
+		WindowUS:        c.cfg.WindowUS,
+		FanoutThreshold: c.cfg.FanoutThreshold,
+		Limits:          c.limits(),
+		Sources:         make([]SourceEvidence, 0, len(c.sources)),
+	}
+	for _, s := range c.sources {
+		rec := s.export("", c.cfg.WindowUS, c.cfg.FanoutThreshold)
+		// Drop the placeholder empty sensor; keep only real provenance.
+		rec.Sensors = rec.Sensors[:0]
+		for sn := range s.sensors {
+			rec.Sensors = append(rec.Sensors, sn)
+		}
+		sort.Strings(rec.Sensors)
+		ex.Sources = append(ex.Sources, rec)
+	}
+	sort.Slice(ex.Sources, func(i, j int) bool { return ex.Sources[i].Src.Less(ex.Sources[j].Src) })
+	return ex
+}
+
+func unionSensors(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeriveIncidents renders an export's incident set exactly as a live
+// correlator holding the same evidence would: re-derive propagation,
+// derive each source's stage, drop NONE, and sort under the same
+// order Correlator.Incidents uses — so a federated report is
+// byte-comparable with a single sensor's live output. Errors on an
+// export whose correlation parameters no correlator could run
+// (zeroed window, threshold or caps — possible only for hand-built
+// exports; the wire decoder rejects such headers).
+func DeriveIncidents(ex *EvidenceExport) ([]Incident, error) {
+	c := newMergeState(ex)
+	if err := c.Import(ex); err != nil {
+		return nil, err
+	}
+	return c.Incidents(), nil
+}

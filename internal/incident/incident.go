@@ -35,6 +35,9 @@ import (
 	"semnids/internal/core"
 )
 
+// maxTemplates caps per-source matched-behavior evidence.
+const maxTemplates = 64
+
 // Stage is a kill-chain position. Stages are cumulative evidence
 // levels, not strict prerequisites: an exploit with no preceding scan
 // is at EXPLOIT having skipped RECON.
@@ -78,8 +81,8 @@ type Incident struct {
 	FirstUS, LastUS uint64
 
 	// Destinations is the distinct destination count retained in the
-	// fan-out evidence; Alerts counts alert events attributed to the
-	// source.
+	// fan-out evidence; Alerts counts the distinct alert observations
+	// retained in the evidence (saturating at the alert cap).
 	Destinations int
 	Alerts       int
 
@@ -111,6 +114,55 @@ type attackRef struct {
 	tsUS     uint64
 }
 
+// addAttackerRef folds one delivery into a victim's per-fingerprint
+// attacker list under a min-(timestamp, attacker) cap: an existing
+// attacker keeps its earliest delivery, and a full list admits a new
+// attacker only by displacing the entry that sorts last — the same
+// commutative displacement rule the minKSets use, so the retained
+// list depends on the (attacker, ts) multiset, not arrival order.
+func addAttackerRef(refs []attackRef, attacker netip.Addr, ts uint64, cap int) []attackRef {
+	for i := range refs {
+		if refs[i].attacker == attacker {
+			if ts < refs[i].tsUS {
+				refs[i].tsUS = ts
+			}
+			return refs
+		}
+	}
+	if len(refs) < cap {
+		return append(refs, attackRef{attacker: attacker, tsUS: ts})
+	}
+	max := 0
+	for i := 1; i < len(refs); i++ {
+		if lessRef(refs[max], refs[i]) {
+			max = i
+		}
+	}
+	if lessRef(attackRef{attacker: attacker, tsUS: ts}, refs[max]) {
+		refs[max] = attackRef{attacker: attacker, tsUS: ts}
+	}
+	return refs
+}
+
+// lessRef orders attacker refs by (timestamp, attacker).
+func lessRef(a, b attackRef) bool {
+	if a.tsUS != b.tsUS {
+		return a.tsUS < b.tsUS
+	}
+	return a.attacker.Less(b.attacker)
+}
+
+// alertKey identifies one alert observation. Alert evidence is a
+// *set* of these (min-timestamp-K capped), not a counter, so merging
+// two sensors' evidence is idempotent: the same alert observed (or
+// exported) twice folds into one entry, while distinct alerts from a
+// trace split across sensors union back to the single-sensor set.
+type alertKey struct {
+	tsUS     uint64
+	dst      netip.Addr
+	template string
+}
+
 // sourceState is the per-source evidence accumulator. Every set is
 // capped and every cap keeps the minimum-timestamp entries, so the
 // retained evidence is a deterministic function of the event *set*,
@@ -120,18 +172,28 @@ type sourceState struct {
 
 	// firstUS/lastUS span content-bearing evidence (flow-open, alert,
 	// fingerprint); lastSeenUS additionally counts bookkeeping events
-	// and drives idle eviction.
+	// and drives idle eviction. echoUS is sweep bookkeeping only — the
+	// trace time of the latest escalation proved against this source —
+	// so an attacker whose victims are still echoing its payload is
+	// not idle-finalized mid-outbreak. It is never exported: which
+	// escalations fire, and when, varies with arrival order and
+	// partitioning, exactly the noise the serialized evidence excludes
+	// (lastSeenUS, by contrast, is a pure max over direct
+	// observations).
 	firstUS, lastUS uint64
 	lastSeenUS      uint64
+	echoUS          uint64
 
 	// dests: destination -> earliest contact, for fan-out (RECON).
 	dests minKSet[netip.Addr]
 
-	// Alert evidence (EXPLOIT).
-	alerts    int
-	exploitAt uint64 // earliest alert, 0 = none
-	severity  string
-	templates map[string]bool
+	// Alert evidence (EXPLOIT): distinct (timestamp, destination,
+	// template) observations under a min-timestamp-K cap; the rendered
+	// alert count is the set size, saturating at the cap.
+	alertTimes minKSet[alertKey]
+	exploitAt  uint64 // earliest alert, 0 = none
+	severity   string
+	templates  map[string]bool
 
 	// Propagation evidence, this source as victim: which fingerprints
 	// it was attacked with, and which it has itself emitted.
@@ -141,6 +203,12 @@ type sourceState struct {
 	// Propagation result, this source as attacker.
 	propagationAt uint64
 	victims       minKSet[netip.Addr] // victim -> earliest echo
+
+	// sensors records foreign provenance folded in by Import: the
+	// sensor IDs whose exported evidence contributed to this source.
+	// Nil for purely local sources (the exporting sensor's own ID is
+	// stamped at export time).
+	sensors map[string]bool
 
 	// notified is the highest stage already delivered to OnIncident
 	// and subscribers.
@@ -176,13 +244,48 @@ type span struct {
 // makes the common saturated case O(1): a scanner producing ever-newer
 // evidence against a full set is turned away without scanning the map.
 type minKSet[K comparable] struct {
-	m        map[K]span
+	m map[K]span
+
+	// less is the deterministic key order used to break equal-timestamp
+	// ties. A typed comparison, not a rendering: the old fmt.Sprint
+	// tiebreak allocated two strings per comparison on the cap
+	// displacement path (TestMinKSetTiebreakAllocs pins the fix).
+	less func(a, b K) bool
+
 	maxKey   K
 	maxTS    uint64
 	maxValid bool
 }
 
-func newMinKSet[K comparable]() minKSet[K] { return minKSet[K]{m: make(map[K]span)} }
+func newMinKSet[K comparable](less func(a, b K) bool) minKSet[K] {
+	return minKSet[K]{m: make(map[K]span), less: less}
+}
+
+// Key comparators: each evidence key type gets a total order so cap
+// displacement breaks equal-timestamp ties identically across runs,
+// shard counts and sensors (the key that sorts last is displaced
+// first).
+func lessAddr(a, b netip.Addr) bool { return a.Less(b) }
+
+func lessFingerprint(a, b core.Fingerprint) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.N < b.N
+}
+
+func lessAlertKey(a, b alertKey) bool {
+	if a.tsUS != b.tsUS {
+		return a.tsUS < b.tsUS
+	}
+	if a.dst != b.dst {
+		return a.dst.Less(b.dst)
+	}
+	return a.template < b.template
+}
 
 func (s *minKSet[K]) len() int { return len(s.m) }
 
@@ -213,7 +316,7 @@ func (s *minKSet[K]) put(key K, ts uint64, cap int) {
 	if !s.maxValid {
 		s.recomputeMax()
 	}
-	if ts > s.maxTS || (ts == s.maxTS && !evictBefore(s.maxKey, key)) {
+	if ts > s.maxTS || (ts == s.maxTS && !s.less(key, s.maxKey)) {
 		return // sorts after the current maximum: rejected without a scan
 	}
 	delete(s.m, s.maxKey)
@@ -224,17 +327,12 @@ func (s *minKSet[K]) put(key K, ts uint64, cap int) {
 func (s *minKSet[K]) recomputeMax() {
 	first := true
 	for k, sp := range s.m {
-		if first || sp.first > s.maxTS || (sp.first == s.maxTS && evictBefore(k, s.maxKey)) {
+		if first || sp.first > s.maxTS || (sp.first == s.maxTS && s.less(s.maxKey, k)) {
 			s.maxKey, s.maxTS, first = k, sp.first, false
 		}
 	}
 	s.maxValid = !first
 }
-
-// evictBefore orders equal-timestamp evidence keys deterministically
-// so cap displacement breaks ties identically across runs and shard
-// counts (the key with the larger rendering is displaced first).
-func evictBefore[K comparable](a, b K) bool { return fmt.Sprint(a) > fmt.Sprint(b) }
 
 // reconAt derives the earliest trace time at which the source's
 // distinct-destination fan-out reached threshold inside a sliding
@@ -269,7 +367,7 @@ func (s *sourceState) derive(windowUS uint64, threshold int) Incident {
 		FirstUS:      s.firstUS,
 		LastUS:       s.lastUS,
 		Destinations: s.dests.len(),
-		Alerts:       s.alerts,
+		Alerts:       s.alertTimes.len(),
 		Severity:     s.severity,
 	}
 	for t := range s.templates {

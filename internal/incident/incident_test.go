@@ -262,6 +262,53 @@ func TestSubscribe(t *testing.T) {
 	}
 }
 
+// TestEscalationKeepsAttackerAlive pins the sweep bookkeeping: an
+// attacker that goes quiet while its victims keep echoing its payload
+// must not be idle-finalized mid-outbreak — finalization would
+// resurrect it as a fresh skeleton on the next echo and announce the
+// same PROPAGATION incident twice.
+func TestEscalationKeepsAttackerAlive(t *testing.T) {
+	var propagations int
+	c := New(Config{WindowUS: 10e6, FanoutThreshold: 3, SourceIdleUS: 1e6,
+		OnIncident: func(inc Incident) {
+			if inc.Src == attacker && inc.Stage == StagePropagation {
+				propagations++
+			}
+		}})
+	defer c.Stop()
+
+	fp := core.FingerprintOf([]byte("worm"))
+	c.Publish(alert(attacker, victim, 1000, fp))
+	// The attacker never speaks again; its victim keeps echoing far
+	// past the idle window, with sweeps triggering in between. The
+	// victim's own follow-up activity re-positions it in front of the
+	// attacker in the recency list, so the sweep examines the attacker
+	// — whose direct-observation clock is ancient — first.
+	for ts := uint64(2000); ts < 6e6; ts += 400_000 {
+		c.Publish(emission(victim, next, ts, fp))
+		// Enough trace-time advance that this event runs a sweep of its
+		// own, finding the attacker at the back of the recency list.
+		c.Publish(flowOpen(victim, addr(1), ts+300_000))
+	}
+	c.Flush()
+
+	var found int
+	for _, inc := range c.Incidents() {
+		if inc.Src == attacker {
+			found++
+			if inc.Stage != StagePropagation || inc.FirstUS == 0 {
+				t.Fatalf("attacker incident degraded to a skeleton: %+v", inc)
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("attacker rendered %d incidents, want exactly 1 (no finalize/resurrect split)", found)
+	}
+	if propagations != 1 {
+		t.Fatalf("PROPAGATION announced %d times, want once", propagations)
+	}
+}
+
 // TestMinKSetDeterministic checks the evidence cap keeps the
 // minimum-timestamp entries whatever the insertion order, including
 // equal-timestamp ties (broken by key) and the cached-max rejection
@@ -269,7 +316,7 @@ func TestSubscribe(t *testing.T) {
 func TestMinKSetDeterministic(t *testing.T) {
 	ins := [][2]int{{5, 50}, {1, 10}, {3, 30}, {2, 20}, {4, 40}}
 	for trial := 0; trial < len(ins); trial++ {
-		s := newMinKSet[netip.Addr]()
+		s := newMinKSet[netip.Addr](lessAddr)
 		for i := range ins {
 			e := ins[(i+trial)%len(ins)]
 			s.put(addr(e[0]), uint64(e[1]), 3)
@@ -288,7 +335,7 @@ func TestMinKSetDeterministic(t *testing.T) {
 	// Equal timestamps: retention must depend on the keys, not on
 	// which insert came first.
 	for _, order := range [][]int{{1, 2, 3, 4}, {4, 3, 2, 1}} {
-		s := newMinKSet[netip.Addr]()
+		s := newMinKSet[netip.Addr](lessAddr)
 		for _, k := range order {
 			s.put(addr(k), 7, 3)
 		}

@@ -28,11 +28,13 @@ import (
 	"io"
 	"net/netip"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"semnids/internal/classify"
 	"semnids/internal/core"
 	"semnids/internal/engine"
+	"semnids/internal/fed"
 	"semnids/internal/incident"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
@@ -248,6 +250,26 @@ type EngineConfig struct {
 	// SubscribeIncidents) or it will deadlock — use SubscribeIncidents
 	// for a decoupled feed instead.
 	OnIncident func(Incident)
+
+	// SensorID names this engine in exported incident evidence
+	// (cross-sensor federation provenance; default "sensor"). Give
+	// every sensor in a federation a distinct ID.
+	SensorID string
+
+	// IncidentExportDir, when non-empty (and Correlate is set),
+	// attaches a durable evidence sink: the correlator's evidence is
+	// checkpointed to size/age-rotated segment files in this directory
+	// — non-blocking from the notify path, plus a periodic safety
+	// net — and on startup the newest complete segment is reloaded, so
+	// a restarted sensor resumes with its attacker state intact.
+	IncidentExportDir string
+
+	// IncidentExportRotateBytes / IncidentExportRotateEvery /
+	// IncidentCheckpointEvery tune the sink's segment rotation and
+	// periodic checkpoint cadence (defaults 1 MiB / 1m / 10s).
+	IncidentExportRotateBytes int64
+	IncidentExportRotateEvery time.Duration
+	IncidentCheckpointEvery   time.Duration
 }
 
 // Incident is one source's correlated kill-chain activity.
@@ -269,6 +291,31 @@ const (
 // IncidentMetrics reports correlator counters and gauges.
 type IncidentMetrics = incident.Metrics
 
+// EvidenceExport is a sensor's (or a merge's) incident evidence
+// snapshot — the unit of cross-sensor federation.
+type EvidenceExport = incident.EvidenceExport
+
+// SinkMetrics reports durable evidence-sink counters.
+type SinkMetrics = fed.SinkMetrics
+
+// MergeEvidence federates two evidence exports: commutative,
+// idempotent, provenance-preserving. See fed.Merge.
+func MergeEvidence(a, b *EvidenceExport) (*EvidenceExport, error) { return fed.Merge(a, b) }
+
+// ReadEvidence decodes an evidence export from the versioned wire
+// format (the newest committed checkpoint, for sink segments).
+func ReadEvidence(r io.Reader) (*EvidenceExport, error) { return fed.ReadExport(r) }
+
+// WriteEvidence encodes an evidence export in the versioned wire
+// format.
+func WriteEvidence(w io.Writer, ex *EvidenceExport) error { return fed.WriteExport(w, ex) }
+
+// DeriveIncidents renders an evidence export's incident set exactly
+// as a live correlator holding the same evidence would. Errors on an
+// export with unusable correlation parameters (hand-built; decoded
+// exports are validated at read time).
+func DeriveIncidents(ex *EvidenceExport) ([]Incident, error) { return incident.DeriveIncidents(ex) }
+
 // Engine is a continuously-running streaming detector: sharded
 // ingestion, bounded flow state with eviction, and verdict caching.
 // Unlike NIDS, it survives beyond a single trace — Drain flushes
@@ -278,6 +325,14 @@ type IncidentMetrics = incident.Metrics
 type Engine struct {
 	inner *engine.Engine
 	corr  *incident.Correlator
+
+	// sink persists correlator evidence when IncidentExportDir is
+	// configured. Set once late in NewEngine and read from the
+	// correlator goroutine's notify hook, hence the atomic: the
+	// correlator must exist first (the sink snapshots it and recovery
+	// imports into it).
+	sink   atomic.Pointer[fed.Sink]
+	sensor string
 
 	// pool recycles packet structs and payload buffers across every
 	// trace fed through Run/Replay — one pool for the engine's
@@ -308,17 +363,75 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e := &Engine{}
 	if cfg.Correlate {
+		// The notify hook reaches the sink through an atomic holder:
+		// the correlator must exist first (the sink snapshots it and
+		// recovery imports into it), so the first notifications may
+		// precede the sink — they are covered by the sink's periodic
+		// checkpoint and final Close snapshot.
+		userCb := cfg.OnIncident
 		e.corr = incident.New(incident.Config{
 			WindowUS:        uint64(cfg.IncidentWindow / time.Microsecond),
 			FanoutThreshold: cfg.IncidentFanout,
 			MaxSources:      cfg.MaxIncidentSources,
-			OnIncident:      cfg.OnIncident,
+			OnIncident: func(inc Incident) {
+				if userCb != nil {
+					userCb(inc)
+				}
+				if s := e.sink.Load(); s != nil {
+					s.Notify()
+				}
+			},
 		})
 		ecfg.OnEvent = e.corr.Publish
 	}
+	if cfg.SensorID != "" {
+		ecfg.SensorID = cfg.SensorID
+	}
 	e.inner = engine.New(ecfg)
+	e.sensor = e.inner.SensorID()
+	if cfg.Correlate && cfg.IncidentExportDir != "" {
+		if rec, err := fed.Recover(cfg.IncidentExportDir); err != nil {
+			e.shutdownPartial()
+			return nil, fmt.Errorf("nids: incident recovery: %w", err)
+		} else if rec != nil {
+			if err := e.importEvidence(rec); err != nil {
+				// Most likely correlation-parameter skew: the durable
+				// evidence was gathered under different window/caps.
+				// Refuse to start rather than silently discard it — the
+				// operator decides whether to restore the previous
+				// parameters or retire the old evidence directory.
+				e.shutdownPartial()
+				return nil, fmt.Errorf("nids: incident recovery from %s: %w (restore the previous correlation parameters, or move the directory aside to start fresh)",
+					cfg.IncidentExportDir, err)
+			}
+		}
+		corr, sensor := e.corr, e.sensor
+		sink, err := fed.OpenSink(fed.SinkConfig{
+			Dir:             cfg.IncidentExportDir,
+			RotateBytes:     cfg.IncidentExportRotateBytes,
+			RotateEvery:     cfg.IncidentExportRotateEvery,
+			CheckpointEvery: cfg.IncidentCheckpointEvery,
+			Export:          func() *EvidenceExport { return corr.Export(sensor) },
+		})
+		if err != nil {
+			e.shutdownPartial()
+			return nil, fmt.Errorf("nids: incident sink: %w", err)
+		}
+		e.sink.Store(sink)
+	}
 	e.pool = netpkt.NewPacketPool()
 	return e, nil
+}
+
+// shutdownPartial tears down a half-built engine on a NewEngine error
+// path so its shard and correlator goroutines do not leak.
+func (e *Engine) shutdownPartial() {
+	if e.inner != nil {
+		e.inner.Stop()
+	}
+	if e.corr != nil {
+		e.corr.Stop()
+	}
 }
 
 // ProcessFrame feeds one raw Ethernet frame with its capture
@@ -405,6 +518,11 @@ func (e *Engine) Drain() {
 	if e.corr != nil {
 		e.corr.Flush()
 	}
+	if s := e.sink.Load(); s != nil {
+		// Nudge a checkpoint now that the trace's full evidence is
+		// applied — the natural durability point between traces.
+		s.Notify()
+	}
 }
 
 // Flush is Drain under the batch detector's name, so the engine is a
@@ -412,13 +530,17 @@ func (e *Engine) Drain() {
 // can still be fed afterwards.
 func (e *Engine) Flush() { e.Drain() }
 
-// Stop drains and terminates the engine and any attached correlator.
+// Stop drains and terminates the engine, any attached correlator,
+// and the durable sink (which writes a final evidence checkpoint).
 // Idempotent and safe alongside concurrent Alerts/Stats/Incidents
 // reads.
 func (e *Engine) Stop() {
 	e.inner.Stop()
 	if e.corr != nil {
 		e.corr.Stop()
+	}
+	if s := e.sink.Load(); s != nil {
+		s.Close()
 	}
 }
 
@@ -458,4 +580,60 @@ func (e *Engine) IncidentStats() IncidentMetrics {
 		return IncidentMetrics{}
 	}
 	return e.corr.Metrics()
+}
+
+// ExportIncidents writes the correlator's current evidence state —
+// every tracked source's min-K timestamp sets, fingerprints and
+// derived stage, stamped with this engine's sensor ID — in the
+// versioned wire format cmd/fedmerge and ImportIncidents consume.
+// Errors without Correlate.
+func (e *Engine) ExportIncidents(w io.Writer) error {
+	if e.corr == nil {
+		return fmt.Errorf("nids: ExportIncidents requires Correlate")
+	}
+	return fed.WriteExport(w, e.corr.Export(e.sensor))
+}
+
+// ImportIncidents folds another sensor's evidence export (or a prior
+// run's) into the live correlator: evidence sets union under the
+// configured caps and cross-sensor propagation links are re-derived.
+// The export must carry the same correlation parameters this engine
+// runs with. Errors without Correlate.
+func (e *Engine) ImportIncidents(r io.Reader) error {
+	if e.corr == nil {
+		return fmt.Errorf("nids: ImportIncidents requires Correlate")
+	}
+	ex, err := fed.ReadExport(r)
+	if err != nil {
+		return err
+	}
+	return e.importEvidence(ex)
+}
+
+// importEvidence folds an export into the correlator and re-marks
+// confirmed attackers in the classifier — the same state a live alert
+// establishes (follow-on traffic from a confirmed attacker is always
+// analyzed), so a restarted or seeded sensor keeps watching the
+// sources its evidence has already convicted.
+func (e *Engine) importEvidence(ex *EvidenceExport) error {
+	if err := e.corr.Import(ex); err != nil {
+		return err
+	}
+	cl := e.inner.Classifier()
+	for i := range ex.Sources {
+		if rec := &ex.Sources[i]; rec.ExploitAtUS > 0 {
+			cl.MarkSuspicious(rec.Src, rec.LastSeenUS)
+		}
+	}
+	return nil
+}
+
+// SinkStats returns durable-sink counters (zero value when no
+// IncidentExportDir is configured).
+func (e *Engine) SinkStats() SinkMetrics {
+	s := e.sink.Load()
+	if s == nil {
+		return SinkMetrics{}
+	}
+	return s.Metrics()
 }
