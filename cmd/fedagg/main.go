@@ -1,0 +1,137 @@
+// Command fedagg is the federation aggregation daemon: it accepts
+// evidence segments pushed by sensors (semnids -push, or any
+// transport.Pusher), folds them into one deterministic federated
+// state with fed.Merge, and checkpoints that state to its own
+// crash-recoverable sink directory. Acks are durable: a sensor sees
+// 2xx only after the fold is committed, so an aggregator crash never
+// loses acknowledged evidence — on restart the newest committed
+// checkpoint is recovered and resumed sensors simply re-push anything
+// unacked (the idempotent merge makes the overlap harmless).
+//
+// Usage:
+//
+//	fedagg -listen :9444 -dir /var/lib/fedagg
+//
+// Endpoints:
+//
+//	POST /push    one evidence segment in the versioned wire format
+//	GET  /report  current federated incident report (text; ?json=1 for JSONL)
+//	GET  /export  current merged evidence export (wire format)
+//	GET  /stats   aggregator + sink counters (JSON)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"semnids/internal/fed"
+	"semnids/internal/fed/transport"
+	"semnids/internal/incident"
+	"semnids/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen       = flag.String("listen", ":9444", "HTTP listen address")
+		dir          = flag.String("dir", "", "durable state directory (required)")
+		maxBody      = flag.Int64("max-body", 32<<20, "maximum pushed segment size in bytes")
+		rotateBytes  = flag.Int64("rotate-bytes", 0, "sink segment rotation size (0 = default)")
+		rotateEvery  = flag.Duration("rotate-every", 0, "sink segment rotation age (0 = default)")
+		keepSegments = flag.Int("keep-segments", 0, "sink segments to retain (0 = default)")
+		asyncAck     = flag.Bool("async-ack", false, "acknowledge pushes before the fold is durably committed (lower latency, crash may lose acked evidence)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "fedagg: -dir is required")
+		flag.Usage()
+		return 2
+	}
+
+	agg, err := transport.NewAggregator(transport.AggregatorConfig{
+		Dir:          *dir,
+		MaxBodyBytes: *maxBody,
+		RotateBytes:  *rotateBytes,
+		RotateEvery:  *rotateEvery,
+		KeepSegments: *keepSegments,
+		AsyncAck:     *asyncAck,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedagg:", err)
+		return 1
+	}
+	if st := agg.Export(); st != nil {
+		fmt.Fprintf(os.Stderr, "fedagg: recovered state from %s: sensors=%s sources=%d\n",
+			*dir, strings.Join(st.Sensors, ","), len(st.Sources))
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/push", agg)
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		st := agg.Export()
+		if st == nil {
+			fmt.Fprintln(w, "no evidence yet")
+			return
+		}
+		incidents, err := incident.DeriveIncidents(st)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("json") != "" {
+			report.WriteIncidentsJSON(w, incidents)
+			return
+		}
+		fmt.Fprintf(w, "sensors: %s  sources: %d\n\n", strings.Join(st.Sensors, ","), len(st.Sources))
+		report.WriteIncidents(w, incidents)
+	})
+	mux.HandleFunc("/export", func(w http.ResponseWriter, r *http.Request) {
+		st := agg.Export()
+		if st == nil {
+			http.Error(w, "fedagg: no evidence yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		fed.WriteExport(w, st)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Aggregator transport.AggregatorMetrics
+			Sink       fed.SinkMetrics
+		}{agg.Metrics(), agg.SinkStats()})
+	})
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fedagg: listening on %s, state in %s\n", *listen, *dir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fedagg:", err)
+		agg.Close()
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fedagg: %v, checkpointing and shutting down\n", sig)
+	}
+	srv.Close()
+	agg.Close()
+	return 0
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fedmerge [-json] [-o merged.evidence] a.evidence b.evidence ...
+//	fedmerge [-json] [-skip-corrupt] [-o merged.evidence] a.evidence b.evidence ...
 //
 // Each input is an evidence export written by `semnids -export` (or a
 // durable-sink segment, or a previous fedmerge -o output — merges
@@ -19,6 +19,15 @@
 // The incident report prints as the kill-chain table (or JSONL with
 // -json); -o additionally writes the merged evidence export for
 // further federation.
+//
+// With -skip-corrupt, inputs that fail to read or to merge (corrupt,
+// truncated before their first committed checkpoint, or gathered under
+// skewed correlation parameters) are warned about on stderr and
+// skipped instead of aborting the merge — the degraded-operations mode
+// for folding a directory of sink segments where a crashed sensor may
+// have left a partial tail. The run then exits 3 (not 0) with a
+// summary of what was skipped, so automation notices the report is
+// missing witnesses even though it was produced.
 package main
 
 import (
@@ -38,9 +47,10 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit merged incidents as JSONL instead of the table")
-		outPath = flag.String("o", "", "write the merged evidence export to this file")
-		quiet   = flag.Bool("q", false, "suppress the incident report (with -o: merge only)")
+		jsonOut     = flag.Bool("json", false, "emit merged incidents as JSONL instead of the table")
+		outPath     = flag.String("o", "", "write the merged evidence export to this file")
+		quiet       = flag.Bool("q", false, "suppress the incident report (with -o: merge only)")
+		skipCorrupt = flag.Bool("skip-corrupt", false, "warn and skip unreadable or unmergeable inputs instead of aborting (exit 3 if any were skipped)")
 	)
 	flag.Parse()
 	paths := flag.Args()
@@ -50,18 +60,29 @@ func run() int {
 		return 2
 	}
 
-	merged, err := readExport(paths[0])
-	if err != nil {
-		return fail(err)
-	}
-	for _, path := range paths[1:] {
+	var merged *incident.EvidenceExport
+	var skipped []string
+	for _, path := range paths {
 		next, err := readExport(path)
-		if err != nil {
+		if err == nil && merged != nil {
+			if m, merr := fed.Merge(merged, next); merr != nil {
+				err = fmt.Errorf("%s: %w", path, merr)
+			} else {
+				merged = m
+				continue
+			}
+		} else if err == nil {
+			merged = next
+			continue
+		}
+		if !*skipCorrupt {
 			return fail(err)
 		}
-		if merged, err = fed.Merge(merged, next); err != nil {
-			return fail(fmt.Errorf("%s: %w", path, err))
-		}
+		fmt.Fprintln(os.Stderr, "fedmerge: warning: skipping", err)
+		skipped = append(skipped, path)
+	}
+	if merged == nil {
+		return fail(fmt.Errorf("all %d inputs skipped, nothing to merge", len(skipped)))
 	}
 
 	if !*quiet {
@@ -94,6 +115,11 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "fedmerge: skipped %d of %d inputs: %s\n",
+			len(skipped), len(paths), strings.Join(skipped, ", "))
+		return 3
 	}
 	return 0
 }

@@ -8,6 +8,7 @@
 //	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
 //	        [-correlate] [-incident-window 30s] [-stats]
 //	        [-sensor ID] [-export FILE] [-import-incidents FILE] [-export-dir DIR]
+//	        [-export-keep N] [-push URL] [-push-wait 5s]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -all the classifier is disabled and every payload is analyzed
@@ -29,6 +30,16 @@
 // before the run; -export-dir attaches the durable sink (size/age-
 // rotated evidence segments, crash recovery on restart). Fold several
 // sensors' exports into one report with cmd/fedmerge.
+//
+// -push streams committed evidence segments to a federation
+// aggregator (cmd/fedagg) with retry/backoff; the sink directory
+// (-export-dir, required) is the spool, so an unreachable aggregator
+// costs lag, never ingest. -export-keep bounds the spool (segments
+// pruned past it before ack are counted as dropped — lag, not loss,
+// since checkpoints are full snapshots). -push-wait bounds a
+// best-effort wait at exit for the aggregator to ack the spool;
+// -stats adds the push transport's health line
+// (pushed/acked/retried/spooled, backoff).
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (CPU
 // for its duration, heap at exit), so operators can profile a live
@@ -79,6 +90,9 @@ func run() int {
 		exportPath = flag.String("export", "", "write the correlator's evidence export here at exit (implies -correlate)")
 		importPath = flag.String("import-incidents", "", "seed the correlator from an evidence export before the run (implies -correlate)")
 		exportDir  = flag.String("export-dir", "", "durable incident sink: rotated evidence segments + crash recovery (implies -correlate)")
+		exportKeep = flag.Int("export-keep", 0, "retained evidence segments in -export-dir — the push spool bound (0 = default 4, floor 2)")
+		pushURL    = flag.String("push", "", "stream evidence segments to a federation aggregator at this URL, e.g. http://agg:9444/push (requires -export-dir)")
+		pushWait   = flag.Duration("push-wait", 0, "after the trace, wait up to this long for the aggregator to ack the spool (with -push)")
 		stats      = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -144,7 +158,7 @@ func run() int {
 		cfg.TemplatesDSL = string(text)
 	}
 
-	if *exportPath != "" || *importPath != "" || *exportDir != "" {
+	if *exportPath != "" || *importPath != "" || *exportDir != "" || *pushURL != "" {
 		*correlate = true
 	}
 	if *stream || *correlate {
@@ -154,6 +168,8 @@ func run() int {
 			correlate: *correlate, incidentWindow: *incWindow,
 			sensor: *sensor, exportPath: *exportPath,
 			importPath: *importPath, exportDir: *exportDir,
+			exportKeep: *exportKeep,
+			pushURL:    *pushURL, pushWait: *pushWait,
 		})
 	}
 
@@ -206,6 +222,9 @@ type engineOpts struct {
 	exportPath     string
 	importPath     string
 	exportDir      string
+	exportKeep     int
+	pushURL        string
+	pushWait       time.Duration
 }
 
 // runEngine feeds the trace through the streaming engine, optionally
@@ -214,13 +233,15 @@ type engineOpts struct {
 // counters — plus live incidents when the correlator is attached.
 func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 	e, err := nids.NewEngine(nids.EngineConfig{
-		Config:            cfg,
-		Shards:            opts.shards,
-		ShedOnOverload:    opts.shed,
-		Correlate:         opts.correlate,
-		IncidentWindow:    opts.incidentWindow,
-		SensorID:          opts.sensor,
-		IncidentExportDir: opts.exportDir,
+		Config:               cfg,
+		Shards:               opts.shards,
+		ShedOnOverload:       opts.shed,
+		Correlate:            opts.correlate,
+		IncidentWindow:       opts.incidentWindow,
+		SensorID:             opts.sensor,
+		IncidentExportDir:    opts.exportDir,
+		IncidentKeepSegments: opts.exportKeep,
+		PushURL:              opts.pushURL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
@@ -296,6 +317,20 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			return 1
 		}
 	}
+	if opts.pushURL != "" && opts.pushWait > 0 {
+		// Commit the trace's full evidence durably first — Drain only
+		// *requests* a checkpoint, so without this the wait could see an
+		// empty spool and return before there is anything to push. Then
+		// best effort: an unreachable aggregator only costs this wait —
+		// the spool survives on disk for the next run to push.
+		if err := e.CheckpointIncidents(); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+		}
+		deadline := time.Now().Add(opts.pushWait)
+		for !e.PushSynced() && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 	m := e.Stats()
 	fmt.Printf("\npackets=%d selected=%d dropped=%d streams=%d frames=%d frame-bytes=%d alerts=%d\n",
 		m.Packets, m.Selected, m.Dropped, m.StreamsAnalyzed, m.Frames, m.FrameBytes, m.Alerts)
@@ -315,6 +350,14 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			sm := e.SinkStats()
 			fmt.Printf("sink: checkpoints=%d rotations=%d dropped=%d errors=%d\n",
 				sm.Checkpoints, sm.Rotations, sm.Dropped, sm.Errors)
+			if opts.pushURL != "" {
+				p := sm.Push
+				fmt.Printf("push: pushed=%d acked=%d retried=%d rejected=%d dropped=%d spooled=%d backoff=%s\n",
+					p.Pushed, p.Acked, p.Retried, p.Rejected, p.Dropped, p.Spooled, p.Backoff)
+				if p.LastError != "" {
+					fmt.Printf("push: last-error: %s\n", p.LastError)
+				}
+			}
 		}
 	}
 	return 0

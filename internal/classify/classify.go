@@ -13,6 +13,7 @@ package classify
 
 import (
 	"net/netip"
+	"sort"
 	"sync"
 
 	"semnids/internal/netpkt"
@@ -151,6 +152,78 @@ func (c *Classifier) MarkSuspicious(src netip.Addr, nowUS uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.suspicious[src] = nowUS + c.cfg.SuspiciousTTLUS
+}
+
+// SourceState is one source's exportable classification state: its
+// suspicious-list expiry and the distinct dark-space addresses it has
+// touched. The dark set is the sub-threshold scan evidence — a
+// restarted sensor that re-imports it does not grant a slow scanner a
+// fresh start at zero.
+type SourceState struct {
+	Src               netip.Addr
+	SuspiciousUntilUS uint64
+	Dark              []netip.Addr
+}
+
+// ExportState snapshots every source with classification state, in a
+// canonical order (sources by address, dark sets sorted) so the same
+// state always renders the same value.
+func (c *Classifier) ExportState() []SourceState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bySrc := make(map[netip.Addr]*SourceState, len(c.suspicious)+len(c.darkSeen))
+	get := func(src netip.Addr) *SourceState {
+		s := bySrc[src]
+		if s == nil {
+			s = &SourceState{Src: src}
+			bySrc[src] = s
+		}
+		return s
+	}
+	for src, expiry := range c.suspicious {
+		get(src).SuspiciousUntilUS = expiry
+	}
+	for src, seen := range c.darkSeen {
+		s := get(src)
+		for d := range seen {
+			s.Dark = append(s.Dark, d)
+		}
+		sort.Slice(s.Dark, func(i, j int) bool { return s.Dark[i].Less(s.Dark[j]) })
+	}
+	out := make([]SourceState, 0, len(bySrc))
+	for _, s := range bySrc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src.Less(out[j].Src) })
+	return out
+}
+
+// ImportState folds exported classification state back in: dark sets
+// union, suspicious expiries fold to the maximum — commutative and
+// idempotent, like the evidence folds this state travels with. A
+// union that crosses the scan threshold does not mark the source
+// suspicious retroactively (there is no "now" to anchor the TTL);
+// the source's next dark-space touch completes the verdict, exactly
+// as one more live touch would have.
+func (c *Classifier) ImportState(states []SourceState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range states {
+		st := &states[i]
+		if st.SuspiciousUntilUS > c.suspicious[st.Src] {
+			c.suspicious[st.Src] = st.SuspiciousUntilUS
+		}
+		if len(st.Dark) > 0 {
+			seen := c.darkSeen[st.Src]
+			if seen == nil {
+				seen = make(map[netip.Addr]bool, len(st.Dark))
+				c.darkSeen[st.Src] = seen
+			}
+			for _, d := range st.Dark {
+				seen[d] = true
+			}
+		}
+	}
 }
 
 // SuspiciousCount reports the current registry size.

@@ -94,9 +94,11 @@ type Sink struct {
 	cfg SinkConfig
 
 	trigger chan struct{}
+	syncReq chan chan error
 	closing chan struct{}
 	done    chan struct{}
 	once    sync.Once
+	killed  atomic.Bool
 
 	m struct {
 		checkpoints, rotations, dropped, errors atomic.Uint64
@@ -141,6 +143,7 @@ func OpenSink(cfg SinkConfig) (*Sink, error) {
 	s := &Sink{
 		cfg:          cfg,
 		trigger:      make(chan struct{}, 1),
+		syncReq:      make(chan chan error),
 		closing:      make(chan struct{}),
 		done:         make(chan struct{}),
 		committedSeg: -1,
@@ -174,6 +177,41 @@ func (s *Sink) Close() {
 	})
 }
 
+// Kill stops the sink goroutine without the final checkpoint or
+// flush — the crash `Recover` is specified against, as an API so
+// fault drills and tests exercise the same abandonment a real kill
+// produces. Durable state after Kill is exactly the checkpoints that
+// were committed before it. Idempotent; Close after Kill is a no-op.
+func (s *Sink) Kill() {
+	s.killed.Store(true)
+	s.once.Do(func() {
+		close(s.closing)
+		<-s.done
+	})
+}
+
+// Checkpoint writes one evidence checkpoint synchronously: it returns
+// after the snapshot is framed, flushed and fsynced (or with the
+// write error). This is the durable-ack primitive — an aggregator
+// responds 2xx only after Checkpoint returns nil, so an acked push
+// can never be lost to a crash. Returns an error on a closed sink.
+func (s *Sink) Checkpoint() error {
+	reply := make(chan error, 1)
+	select {
+	case s.syncReq <- reply:
+		select {
+		case err := <-reply:
+			return err
+		case <-s.done:
+			return fmt.Errorf("fed: sink closed")
+		}
+	case <-s.done:
+		return fmt.Errorf("fed: sink closed")
+	case <-s.closing:
+		return fmt.Errorf("fed: sink closing")
+	}
+}
+
 // Metrics returns current sink counters.
 func (s *Sink) Metrics() SinkMetrics {
 	return SinkMetrics{
@@ -191,9 +229,22 @@ func (s *Sink) run() {
 	for {
 		select {
 		case <-s.closing:
+			if s.killed.Load() {
+				// Crash semantics: abandon the descriptor without flush
+				// or final checkpoint — the tail stays whatever the last
+				// committed write left behind.
+				if s.f != nil {
+					s.f.Close()
+					s.f, s.bw = nil, nil
+				}
+				return
+			}
 			s.checkpoint()
 			s.closeSegment()
 			return
+		case reply := <-s.syncReq:
+			reply <- s.checkpoint()
+			continue
 		case <-s.trigger:
 		case <-tick.C:
 		}
@@ -203,15 +254,15 @@ func (s *Sink) run() {
 
 // checkpoint snapshots the evidence and appends one committed group,
 // rotating first when the current segment is over size or age.
-func (s *Sink) checkpoint() {
+func (s *Sink) checkpoint() error {
 	ex := s.cfg.Export()
 	if ex == nil {
-		return
+		return nil
 	}
 	if s.f == nil || s.size >= s.cfg.RotateBytes || time.Since(s.openedAt) >= s.cfg.RotateEvery {
 		if err := s.rotate(ex); err != nil {
 			s.m.errors.Add(1)
-			return
+			return err
 		}
 	}
 	s.seq++
@@ -220,10 +271,11 @@ func (s *Sink) checkpoint() {
 		// The segment tail is now suspect: force a fresh segment on the
 		// next checkpoint rather than appending after a partial group.
 		s.closeSegment()
-		return
+		return err
 	}
 	s.committedSeg = s.segIndex - 1
 	s.m.checkpoints.Add(1)
+	return nil
 }
 
 // rotate closes the current segment, opens the next, writes its
@@ -264,7 +316,7 @@ func (s *Sink) rotate(ex *incident.EvidenceExport) error {
 // append writes one committed checkpoint group and syncs it to disk.
 func (s *Sink) append(ex *incident.EvidenceExport) error {
 	return s.writeFrames(func(bw *bufio.Writer) error {
-		return writeCheckpoint(bw, s.seq, ex.Sources)
+		return writeCheckpoint(bw, s.seq, ex)
 	})
 }
 
@@ -353,6 +405,41 @@ func listSegments(dir string) ([]segment, error) {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
 	return segs, nil
+}
+
+// SegmentInfo describes one on-disk sink segment.
+type SegmentInfo struct {
+	// Name is the file name within the sink directory.
+	Name string
+	// Index is the segment's rotation sequence number; higher is newer.
+	Index int
+	// Size is the current file size in bytes. For the newest segment —
+	// the one still being appended to — it grows with each checkpoint.
+	Size int64
+}
+
+// Segments lists a sink directory's segments oldest first, with
+// sizes — the push transport's view of the spool. A missing directory
+// is an empty spool, not an error (the sensor may not have produced
+// evidence yet). Segments that disappear between listing and use were
+// pruned; callers must treat that as a normal outcome.
+func Segments(dir string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, seg := range segs {
+		fi, err := os.Stat(filepath.Join(dir, seg.name))
+		if err != nil {
+			continue // pruned mid-listing
+		}
+		out = append(out, SegmentInfo{Name: seg.name, Index: seg.index, Size: fi.Size()})
+	}
+	return out, nil
 }
 
 // Recover loads the newest recoverable evidence state from a sink

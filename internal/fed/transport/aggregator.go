@@ -1,0 +1,272 @@
+// Package transport moves incident evidence from sensors to an
+// aggregator over HTTP, engineered so every failure mode degrades
+// gracefully instead of losing or duplicating evidence.
+//
+// The delivery contract is at-least-once transport composed with an
+// idempotent, commutative fold (fed.Merge): a sensor pushes each
+// committed evidence segment until the aggregator acknowledges it,
+// and the aggregator folds whatever arrives — duplicates, resends
+// after lost acks, segments replayed across an aggregator restart —
+// into the same deterministic state. At-least-once delivery plus
+// idempotent merge yields exactly-once *effect* without any
+// distributed bookkeeping: no sequence negotiation, no dedup window,
+// no sensor registry.
+//
+// Failure modes and their outcomes:
+//
+//   - Aggregator unreachable: the sensor's rotated segment directory
+//     *is* the spool. Pushes back off exponentially (with jitter);
+//     ingest continues at full rate; the cost is lag bounded by the
+//     sink's prune policy, and a Dropped counter says when prune
+//     outran push.
+//   - Connection drop / mid-body truncation: the pusher sees a
+//     request error and retries; the aggregator either saw nothing,
+//     or decoded a committed prefix it can safely fold (the framing
+//     makes truncation detectable at every byte, and the resend
+//     supersedes the prefix idempotently).
+//   - Lost ack / duplicate delivery: the segment is pushed again;
+//     fed.Merge(state, X) twice equals once.
+//   - Aggregator crash: acks are durable — a 2xx is written only
+//     after the merged state is committed to the aggregator's own
+//     crash-recoverable sink — so restart recovers everything acked,
+//     and everything unacked is retried by its sensor.
+//   - Corrupt or oversized segment: rejected with a clean 4xx before
+//     any allocation the body's length prefixes could demand; the
+//     pusher counts it and moves on rather than wedging the spool.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semnids/internal/fed"
+	"semnids/internal/incident"
+)
+
+// AggregatorConfig parameterizes an evidence aggregator.
+type AggregatorConfig struct {
+	// Dir is the aggregator's own durable sink directory (required):
+	// merged state is checkpointed here and recovered on restart.
+	Dir string
+
+	// MaxBodyBytes bounds one pushed segment body (default 32 MiB). A
+	// body at or over the bound is rejected with 413 — including one
+	// whose committed prefix decoded cleanly, because an ack must
+	// cover the whole segment the sensor will mark delivered.
+	MaxBodyBytes int64
+
+	// RotateBytes / RotateEvery / CheckpointEvery / KeepSegments tune
+	// the aggregator's sink (see fed.SinkConfig).
+	RotateBytes     int64
+	RotateEvery     time.Duration
+	CheckpointEvery time.Duration
+	KeepSegments    int
+
+	// AsyncAck acknowledges pushes before the merged state is durably
+	// checkpointed. The default (false) holds the 2xx until the sink
+	// reports the fold fsynced — the property the restart tests pin:
+	// an acked push can never be lost to a crash. Async trades that
+	// for latency; an aggregator crash may then lose acked evidence
+	// until the sensor's next full-snapshot checkpoint re-delivers it.
+	AsyncAck bool
+}
+
+func (cfg AggregatorConfig) withDefaults() AggregatorConfig {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	return cfg
+}
+
+// AggregatorMetrics is a snapshot of aggregator counters and gauges.
+type AggregatorMetrics struct {
+	// Received counts push requests; Merged counts those whose
+	// evidence was folded into the state (including duplicates —
+	// idempotence makes them indistinguishable from first deliveries,
+	// which is the point).
+	Received, Merged uint64
+
+	// Rejected counts bodies refused as corrupt or checkpoint-less
+	// (400), TooLarge those over MaxBodyBytes (413), Skew those
+	// carrying incompatible correlation parameters (409).
+	Rejected, TooLarge, Skew uint64
+
+	// Errors counts folds that merged but failed to commit durably
+	// (500 — the pusher retries, the merge is idempotent).
+	Errors uint64
+
+	// Sensors and Sources describe the current merged state.
+	Sensors, Sources int
+}
+
+// Aggregator folds pushed evidence segments into one deterministic
+// federated state, durably checkpointed to its own crash-recoverable
+// sink. It is an http.Handler (POST = push); restart recovery happens
+// in NewAggregator via fed.Recover.
+type Aggregator struct {
+	cfg AggregatorConfig
+
+	mu    sync.Mutex
+	state *incident.EvidenceExport // nil until the first fold
+
+	sink   *fed.Sink
+	closed atomic.Bool
+
+	m struct {
+		received, merged, rejected, tooLarge, skew, errors atomic.Uint64
+	}
+}
+
+// NewAggregator recovers the newest committed state from the sink
+// directory (if any) and starts the durable sink.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("transport: aggregator needs a sink directory")
+	}
+	a := &Aggregator{cfg: cfg}
+	rec, err := fed.Recover(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("transport: aggregator recovery: %w", err)
+	}
+	a.state = rec
+	sink, err := fed.OpenSink(fed.SinkConfig{
+		Dir:             cfg.Dir,
+		RotateBytes:     cfg.RotateBytes,
+		RotateEvery:     cfg.RotateEvery,
+		CheckpointEvery: cfg.CheckpointEvery,
+		KeepSegments:    cfg.KeepSegments,
+		Export:          a.Export,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: aggregator sink: %w", err)
+	}
+	a.sink = sink
+	return a, nil
+}
+
+// Export returns the current merged evidence state (nil before the
+// first fold). The returned export is immutable — folds replace the
+// state wholesale — so callers may read it without synchronization
+// but must not modify it.
+func (a *Aggregator) Export() *incident.EvidenceExport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// Metrics returns current aggregator counters and gauges.
+func (a *Aggregator) Metrics() AggregatorMetrics {
+	m := AggregatorMetrics{
+		Received: a.m.received.Load(),
+		Merged:   a.m.merged.Load(),
+		Rejected: a.m.rejected.Load(),
+		TooLarge: a.m.tooLarge.Load(),
+		Skew:     a.m.skew.Load(),
+		Errors:   a.m.errors.Load(),
+	}
+	if st := a.Export(); st != nil {
+		m.Sensors = len(st.Sensors)
+		m.Sources = len(st.Sources)
+	}
+	return m
+}
+
+// SinkStats returns the aggregator's durable-sink counters.
+func (a *Aggregator) SinkStats() fed.SinkMetrics { return a.sink.Metrics() }
+
+// Close writes a final durable checkpoint and stops the sink.
+func (a *Aggregator) Close() {
+	a.closed.Store(true)
+	a.sink.Close()
+}
+
+// Kill crash-stops the aggregator: no final checkpoint, no flush —
+// durable state is exactly the checkpoints committed before the kill.
+// The restart tests (and operator fault drills) use this to prove
+// recovery; production shutdown is Close.
+func (a *Aggregator) Kill() {
+	a.closed.Store(true)
+	a.sink.Kill()
+}
+
+// ServeHTTP accepts one pushed evidence segment per POST request and
+// folds it into the merged state. Responses:
+//
+//	200 — folded and (unless AsyncAck) durably committed
+//	400 — corrupt, truncated-before-first-checkpoint, or empty body
+//	405 — not a POST
+//	409 — correlation-parameter skew (retrying cannot help)
+//	413 — body at or over MaxBodyBytes
+//	500 — folded but not durably committed (retry is safe)
+//	503 — aggregator closed
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.closed.Load() {
+		http.Error(w, "transport: aggregator closed", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "transport: push is POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	a.m.received.Add(1)
+
+	// Bound the body before the decoder sees it. The decoder's own
+	// MaxRecordBytes bound refuses oversized per-record claims before
+	// allocating; this bound caps the whole segment. One extra byte of
+	// budget distinguishes "fits exactly" from "was cut off".
+	lr := &io.LimitedReader{R: r.Body, N: a.cfg.MaxBodyBytes + 1}
+	ex, err := fed.ReadExport(lr)
+	if lr.N <= 0 {
+		a.m.tooLarge.Add(1)
+		http.Error(w, fmt.Sprintf("transport: segment body exceeds the %d-byte bound", a.cfg.MaxBodyBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if err != nil {
+		a.m.rejected.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, fed.ErrNoCheckpoint) {
+			// A committed-checkpoint-less segment carries no evidence:
+			// still a 400 (nothing was folded), but a distinct message —
+			// the pusher pre-filters these, so seeing one here usually
+			// means a truncated copy.
+			http.Error(w, "transport: segment has no committed checkpoint", status)
+			return
+		}
+		http.Error(w, fmt.Sprintf("transport: bad segment: %v", err), status)
+		return
+	}
+
+	a.mu.Lock()
+	if a.state == nil {
+		a.state = ex
+	} else {
+		merged, err := fed.Merge(a.state, ex)
+		if err != nil {
+			a.mu.Unlock()
+			a.m.skew.Add(1)
+			http.Error(w, fmt.Sprintf("transport: %v", err), http.StatusConflict)
+			return
+		}
+		a.state = merged
+	}
+	a.mu.Unlock()
+	a.m.merged.Add(1)
+
+	if a.cfg.AsyncAck {
+		a.sink.Notify()
+	} else if err := a.sink.Checkpoint(); err != nil {
+		// The fold is applied but not durable: refuse the ack so the
+		// sensor retries — the duplicate fold is free.
+		a.m.errors.Add(1)
+		http.Error(w, fmt.Sprintf("transport: durable commit failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}

@@ -1,0 +1,255 @@
+// Package faultnet is a deterministic fault-injection harness for the
+// federation push transport: an http.RoundTripper wrapper that
+// injects connection drops, mid-body truncation, latency spikes,
+// synthetic 5xx bursts and duplicate deliveries on a seeded schedule.
+//
+// Determinism is the point. All randomness comes from one seeded
+// source drawn in a fixed per-request order under a lock, so a given
+// (seed, request sequence) always produces the same fault schedule —
+// a failing fault-injection run reproduces exactly. The faults are
+// injected at the client edge, which is where the transport's
+// contract lives: a pusher must treat "my request errored" as
+// "delivery unknown" and retry, whatever actually reached the wire.
+//
+//   - Drop: the request fails before any byte is sent — the server
+//     never saw it.
+//   - Truncate: the body dies partway through upload — the server
+//     sees a prefix and an unexpected EOF, the client sees an error;
+//     both sides' truncation handling is exercised at once.
+//   - Err: a synthetic 503 — the "ack lost / server overloaded" case.
+//   - Duplicate: the request is delivered twice back to back — the
+//     retransmit-after-lost-ack case, compressed into one call.
+//   - Latency: a uniform random delay up to MaxLatency before the
+//     request proceeds.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the error surfaced for injected connection
+// drops; ErrInjectedTruncate for injected mid-body truncations.
+// Sentinels so tests can tell injected faults from real ones.
+var (
+	ErrInjectedDrop     = errors.New("faultnet: injected connection drop")
+	ErrInjectedTruncate = errors.New("faultnet: injected mid-body truncation")
+)
+
+// Plan schedules the faults a Transport injects. Probabilities are
+// per request, drawn in the order Drop, Truncate, Err, Duplicate
+// (first match wins), after the latency draw.
+type Plan struct {
+	// Seed fixes the fault schedule (default 1).
+	Seed int64
+
+	// Drop is P(fail before any byte is sent).
+	Drop float64
+
+	// Truncate is P(the body is cut mid-stream and the connection
+	// dies). Only applies to requests with a non-empty body.
+	Truncate float64
+
+	// Err is P(synthetic 503 response; the request is not delivered).
+	Err float64
+
+	// Duplicate is P(the request is delivered twice; the second
+	// response is returned).
+	Duplicate float64
+
+	// MaxLatency adds a uniform random delay in [0, MaxLatency) to
+	// every request (0 disables).
+	MaxLatency time.Duration
+}
+
+// Counts reports how many requests saw each injected fault.
+type Counts struct {
+	Requests, Drops, Truncations, Errs, Duplicates, Delivered uint64
+}
+
+// Transport wraps an http.RoundTripper with the fault plan. Safe for
+// concurrent use; concurrent requests serialize their schedule draws
+// (determinism then depends on the caller's request ordering — the
+// push transport is sequential per pusher, which is what makes
+// end-to-end runs reproducible).
+type Transport struct {
+	base http.RoundTripper
+	plan Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	c   Counts
+}
+
+// New wraps base (nil = http.DefaultTransport) with plan.
+func New(base http.RoundTripper, plan Plan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	return &Transport{base: base, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Counts returns the injected-fault tally so far.
+func (t *Transport) Counts() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.c
+}
+
+// verdict is one request's drawn fault schedule.
+type verdict struct {
+	delay     time.Duration
+	drop      bool
+	truncate  bool
+	truncAt   float64 // fraction of the body delivered before the cut
+	err503    bool
+	duplicate bool
+}
+
+func (t *Transport) decide(hasBody bool) verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.c.Requests++
+	var v verdict
+	if t.plan.MaxLatency > 0 {
+		v.delay = time.Duration(t.rng.Int63n(int64(t.plan.MaxLatency)))
+	}
+	// Draw every probability in fixed order whether or not an earlier
+	// one already matched: the schedule consumes the same number of
+	// randoms per request regardless of outcome, so one plan knob can
+	// change without reshuffling the rest of the run.
+	drop := t.rng.Float64() < t.plan.Drop
+	trunc := t.rng.Float64() < t.plan.Truncate
+	truncAt := t.rng.Float64()
+	err503 := t.rng.Float64() < t.plan.Err
+	dup := t.rng.Float64() < t.plan.Duplicate
+	switch {
+	case drop:
+		v.drop = true
+		t.c.Drops++
+	case trunc && hasBody:
+		v.truncate = true
+		v.truncAt = truncAt
+		t.c.Truncations++
+	case err503:
+		v.err503 = true
+		t.c.Errs++
+	case dup:
+		v.duplicate = true
+		t.c.Duplicates++
+	default:
+		t.c.Delivered++
+	}
+	return v
+}
+
+// truncatingReader yields n bytes of r then fails, killing the
+// request mid-body.
+type truncatingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (tr *truncatingReader) Read(p []byte) (int, error) {
+	if tr.n <= 0 {
+		return 0, ErrInjectedTruncate
+	}
+	if int64(len(p)) > tr.n {
+		p = p[:tr.n]
+	}
+	n, err := tr.r.Read(p)
+	tr.n -= int64(n)
+	if err == nil && tr.n <= 0 {
+		err = ErrInjectedTruncate
+	}
+	return n, err
+}
+
+// RoundTrip applies the drawn fault schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body: duplication and truncation both need replay.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	v := t.decide(len(body) > 0)
+	if v.delay > 0 {
+		select {
+		case <-time.After(v.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if v.drop {
+		return nil, ErrInjectedDrop
+	}
+	if v.truncate {
+		// Deliver a strict prefix — at least 0, at most len-1 bytes —
+		// then kill the connection. The server sees a short body; the
+		// client sees this error.
+		n := int64(float64(len(body)) * v.truncAt)
+		if n >= int64(len(body)) {
+			n = int64(len(body)) - 1
+		}
+		sub := t.clone(req, body)
+		sub.Body = io.NopCloser(&truncatingReader{r: bytes.NewReader(body), n: n})
+		sub.GetBody = nil
+		resp, err := t.base.RoundTrip(sub)
+		if err == nil {
+			// The server answered despite the cut body (it may have
+			// rejected the truncation with a 4xx). The *connection*
+			// still died from the client's point of view: surface the
+			// injected error so the pusher treats delivery as unknown.
+			resp.Body.Close()
+		}
+		return nil, ErrInjectedTruncate
+	}
+	if v.err503 {
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte(fmt.Sprintf("faultnet: injected 503 for %s\n", req.URL.Path)))),
+			Request:    req,
+		}, nil
+	}
+	if v.duplicate {
+		first, err := t.base.RoundTrip(t.clone(req, body))
+		if err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return t.base.RoundTrip(t.clone(req, body))
+	}
+	return t.base.RoundTrip(t.clone(req, body))
+}
+
+// clone rebuilds the request with a fresh replayable body.
+func (t *Transport) clone(req *http.Request, body []byte) *http.Request {
+	sub := req.Clone(req.Context())
+	if body != nil {
+		sub.Body = io.NopCloser(bytes.NewReader(body))
+		sub.ContentLength = int64(len(body))
+		sub.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
+	return sub
+}

@@ -1,0 +1,167 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// record keeps what the server saw of each delivery.
+type record struct {
+	n   int
+	err error
+}
+
+func countingServer() (*httptest.Server, func() []record) {
+	var mu sync.Mutex
+	var seen []record
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		mu.Lock()
+		seen = append(seen, record{n: len(body), err: err})
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	return srv, func() []record {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]record(nil), seen...)
+	}
+}
+
+func push(t *testing.T, client *http.Client, url string, body []byte) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+// TestDropNeverReachesServer: an injected drop fails client-side
+// before any byte is sent.
+func TestDropNeverReachesServer(t *testing.T) {
+	srv, seen := countingServer()
+	defer srv.Close()
+	client := &http.Client{Transport: New(nil, Plan{Drop: 1})}
+	if _, err := push(t, client, srv.URL, []byte("payload")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want injected drop", err)
+	}
+	if got := seen(); len(got) != 0 {
+		t.Fatalf("server saw %d deliveries of a dropped request", len(got))
+	}
+	if c := New(nil, Plan{Drop: 1}).Counts(); c.Requests != 0 {
+		t.Fatalf("fresh transport counts = %+v", c)
+	}
+}
+
+// TestTruncateDeliversStrictPrefix: the server sees fewer bytes than
+// were sent and a read error; the client sees the injected error.
+func TestTruncateDeliversStrictPrefix(t *testing.T) {
+	srv, seen := countingServer()
+	defer srv.Close()
+	ft := New(nil, Plan{Truncate: 1})
+	client := &http.Client{Transport: ft}
+	// Big enough that the delivered prefix overflows the HTTP
+	// transport's write buffer and actually reaches the wire — a
+	// truncated prefix smaller than one buffer dies client-side, which
+	// is the connection-drop case, not the mid-body one.
+	body := bytes.Repeat([]byte("x"), 512<<10)
+	if _, err := push(t, client, srv.URL, body); !errors.Is(err, ErrInjectedTruncate) {
+		t.Fatalf("err = %v, want injected truncation", err)
+	}
+	// The client's error races the server handler's return: poll until
+	// the delivery is recorded.
+	var got []record
+	for deadline := time.Now().Add(5 * time.Second); len(got) == 0 && time.Now().Before(deadline); {
+		got = seen()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("server saw %d deliveries, want the one truncated upload", len(got))
+	}
+	if got[0].n >= len(body) || got[0].err == nil {
+		t.Fatalf("server read %d bytes err=%v, want a strict prefix with a read error", got[0].n, got[0].err)
+	}
+	if c := ft.Counts(); c.Truncations != 1 {
+		t.Fatalf("counts = %+v, want one truncation", c)
+	}
+}
+
+// TestErr503IsSynthetic: the 503 comes from the harness, not the
+// server.
+func TestErr503IsSynthetic(t *testing.T) {
+	srv, seen := countingServer()
+	defer srv.Close()
+	client := &http.Client{Transport: New(nil, Plan{Err: 1})}
+	resp, err := push(t, client, srv.URL, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := seen(); len(got) != 0 {
+		t.Fatalf("server saw %d deliveries of an injected 503", len(got))
+	}
+}
+
+// TestDuplicateDeliversTwice: the server sees the full body twice;
+// the client sees one (the second) response.
+func TestDuplicateDeliversTwice(t *testing.T) {
+	srv, seen := countingServer()
+	defer srv.Close()
+	client := &http.Client{Transport: New(nil, Plan{Duplicate: 1})}
+	body := []byte("payload")
+	resp, err := push(t, client, srv.URL, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := seen()
+	if len(got) != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", len(got))
+	}
+	for i, r := range got {
+		if r.n != len(body) || r.err != nil {
+			t.Fatalf("delivery %d: n=%d err=%v, want the full body", i, r.n, r.err)
+		}
+	}
+}
+
+// TestScheduleDeterminism: the same seed over the same request
+// sequence draws the same faults; a different seed draws a different
+// schedule.
+func TestScheduleDeterminism(t *testing.T) {
+	srv, _ := countingServer()
+	defer srv.Close()
+	plan := Plan{Seed: 7, Drop: 0.3, Truncate: 0.2, Err: 0.2, Duplicate: 0.2, MaxLatency: time.Millisecond}
+	run := func(seed int64) Counts {
+		p := plan
+		p.Seed = seed
+		ft := New(nil, p)
+		client := &http.Client{Transport: ft}
+		for i := 0; i < 60; i++ {
+			if resp, err := push(t, client, srv.URL, []byte("payload")); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return ft.Counts()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Drops == 0 || a.Truncations == 0 || a.Errs == 0 || a.Duplicates == 0 || a.Delivered == 0 {
+		t.Fatalf("schedule did not exercise every outcome: %+v", a)
+	}
+	if c := run(8); c == a {
+		t.Fatalf("different seeds drew identical schedules: %+v", c)
+	}
+}

@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"semnids/internal/fed"
+)
+
+// PusherConfig parameterizes a segment pusher.
+type PusherConfig struct {
+	// Dir is the fed.Sink segment directory to watch (required). The
+	// directory is also the spool: an unreachable aggregator costs
+	// nothing but lag, bounded by the sink's prune policy.
+	Dir string
+
+	// URL is the aggregator push endpoint (required), e.g.
+	// "http://agg:9444/push".
+	URL string
+
+	// Client issues the push requests (default: a plain http.Client).
+	// Per-request timeouts come from RequestTimeout, not the client;
+	// replacing the client's Transport is the fault-injection hook.
+	Client *http.Client
+
+	// RequestTimeout bounds one upload end to end (default 10s).
+	RequestTimeout time.Duration
+
+	// ScanInterval is the idle re-scan cadence (default 2s); Notify
+	// nudges a scan sooner.
+	ScanInterval time.Duration
+
+	// BackoffMin / BackoffMax bound the exponential backoff applied
+	// after a failed push (defaults 250ms / 30s). The actual delay is
+	// jittered to 50–100% of the current backoff so a fleet of
+	// sensors does not retry in lockstep.
+	BackoffMin, BackoffMax time.Duration
+
+	// Seed seeds the backoff jitter (default 1). Fixed seeds make
+	// fault-injection runs deterministic.
+	Seed int64
+}
+
+func (cfg PusherConfig) withDefaults() PusherConfig {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 2 * time.Second
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 250 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// PushMetrics is a snapshot of pusher counters and health gauges — a
+// wedged pipeline must be visible, not silent.
+type PushMetrics struct {
+	// Scans counts completed spool scans; Pushed counts upload
+	// attempts; Acked counts aggregator acknowledgments (a segment
+	// that grows is re-pushed and re-acked); Retried counts failed
+	// attempts that stay spooled for retry; Rejected counts uploads
+	// the aggregator permanently refused (4xx — retrying cannot
+	// help, the segment is skipped and the counter is the alarm).
+	Scans, Pushed, Acked, Retried, Rejected uint64
+
+	// Dropped counts committed segments pruned from the spool before
+	// their evidence was ever acked — prune outran push. Evidence is
+	// usually still covered by later full-snapshot checkpoints, but a
+	// climbing count means the retention budget is too small for the
+	// current outage.
+	Dropped uint64
+
+	// Spooled is the number of on-disk segments holding bytes not yet
+	// acked (as of the latest scan).
+	Spooled int
+
+	// Backoff is the current retry backoff (0 when the last push
+	// succeeded); LastError is the most recent failure ("" when
+	// healthy).
+	Backoff   time.Duration
+	LastError string
+}
+
+// segState is the pusher's per-segment bookkeeping.
+type segState struct {
+	seenSize  int64 // newest observed size
+	ackedSize int64 // bytes acked by the aggregator
+	doneSize  int64 // bytes handled without an ack (no committed checkpoint, or rejected)
+}
+
+// handled reports the byte count already resolved (acked, skipped or
+// rejected); a segment needs a push while seenSize exceeds it.
+func (s *segState) handled() int64 {
+	if s.ackedSize > s.doneSize {
+		return s.ackedSize
+	}
+	return s.doneSize
+}
+
+// Pusher watches a fed.Sink segment directory and uploads committed
+// segments to an aggregator, oldest first, one at a time (in-flight
+// is bounded at one: ordering keeps the aggregator folding oldest
+// evidence first, and the spool — the disk — is the backlog, so
+// concurrency would buy nothing against a serially-folding peer).
+// Every failure backs off exponentially with jitter and leaves the
+// spool intact; every success is recorded so a segment is re-pushed
+// only when it grows.
+type Pusher struct {
+	cfg    PusherConfig
+	client *http.Client
+
+	trigger chan struct{}
+	closing chan struct{}
+	done    chan struct{}
+	once    sync.Once
+
+	// run-goroutine state.
+	rng     *rand.Rand
+	segs    map[int]*segState
+	backoff time.Duration
+
+	mu sync.Mutex
+	m  PushMetrics
+	// notifyGen counts Notify calls; scanGen is the notifyGen value
+	// observed at the start of the latest completed scan. Synced
+	// compares them so a caller who just committed new evidence (and
+	// Notified) cannot read a stale all-clear from a scan that ran
+	// before the commit.
+	notifyGen, scanGen uint64
+}
+
+// NewPusher validates the configuration and starts the push loop.
+func NewPusher(cfg PusherConfig) (*Pusher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("transport: pusher needs a segment directory")
+	}
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("transport: pusher needs an aggregator URL")
+	}
+	p := &Pusher{
+		cfg:     cfg,
+		client:  cfg.Client,
+		trigger: make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		segs:    make(map[int]*segState),
+	}
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	go p.run()
+	return p, nil
+}
+
+// Notify nudges a spool scan without waiting for the next interval.
+// Never blocks; a nudge arriving while one is pending coalesces.
+func (p *Pusher) Notify() {
+	p.mu.Lock()
+	p.notifyGen++
+	p.mu.Unlock()
+	select {
+	case p.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Metrics returns current pusher counters and health gauges.
+func (p *Pusher) Metrics() PushMetrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m
+}
+
+// Synced reports whether the latest completed scan left nothing
+// spooled — every committed byte on disk acked by the aggregator.
+// False until the first scan completes, and false after a Notify
+// until a scan that *started after it* completes, so
+// commit-Notify-Synced sequences can never read a stale all-clear.
+// (Evidence written without a Notify — the sink's periodic tick — is
+// only guaranteed visible after the next scan interval.)
+func (p *Pusher) Synced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m.Scans > 0 && p.m.Spooled == 0 && p.m.Backoff == 0 && p.scanGen >= p.notifyGen
+}
+
+// Close makes one final best-effort pass over the spool (bounded: a
+// single sweep, each request under RequestTimeout, stopping at the
+// first failure) and stops the loop. The spool itself persists — a
+// restarted pusher re-pushes anything unacked, and the aggregator's
+// idempotent fold makes the overlap harmless.
+func (p *Pusher) Close() {
+	p.once.Do(func() {
+		close(p.closing)
+		<-p.done
+	})
+}
+
+func (p *Pusher) run() {
+	defer close(p.done)
+	for {
+		p.syncPass()
+		delay := p.cfg.ScanInterval
+		if p.backoff > 0 {
+			// 50–100% jitter on the exponential backoff.
+			delay = p.backoff/2 + time.Duration(p.rng.Int63n(int64(p.backoff/2)+1))
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-p.closing:
+			timer.Stop()
+			p.syncPass() // final sweep: push whatever the last checkpoint left
+			return
+		case <-p.trigger:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// syncPass scans the spool once and pushes every segment with unacked
+// bytes, oldest first, stopping at the first retryable failure (order
+// preserved; the failed segment leads the next pass).
+func (p *Pusher) syncPass() {
+	p.mu.Lock()
+	gen := p.notifyGen
+	p.mu.Unlock()
+	segs, err := fed.Segments(p.cfg.Dir)
+	if err != nil {
+		p.fail(fmt.Sprintf("scan: %v", err))
+		return
+	}
+	current := make(map[int]bool, len(segs))
+	for _, seg := range segs {
+		current[seg.Index] = true
+	}
+	// Segments that vanished were pruned; unacked committed bytes in
+	// them are dropped evidence.
+	for idx, st := range p.segs {
+		if !current[idx] {
+			if st.seenSize > st.handled() {
+				p.mu.Lock()
+				p.m.Dropped++
+				p.mu.Unlock()
+			}
+			delete(p.segs, idx)
+		}
+	}
+
+	ok := true
+	for _, seg := range segs {
+		st := p.segs[seg.Index]
+		if st == nil {
+			st = &segState{}
+			p.segs[seg.Index] = st
+		}
+		if seg.Size > st.seenSize {
+			st.seenSize = seg.Size
+		}
+		if ok && st.seenSize > st.handled() {
+			if !p.pushSegment(seg.Name, st) {
+				ok = false // keep scanning for spool accounting, stop pushing
+			}
+		}
+	}
+
+	spooled := 0
+	for _, st := range p.segs {
+		if st.seenSize > st.handled() {
+			spooled++
+		}
+	}
+	p.mu.Lock()
+	p.m.Scans++
+	p.m.Spooled = spooled
+	p.scanGen = gen
+	if ok {
+		p.backoff = 0
+		p.m.Backoff = 0
+		p.m.LastError = ""
+	}
+	p.mu.Unlock()
+}
+
+// pushSegment uploads one segment snapshot. Returns false only for
+// retryable failures (network errors, 5xx) — those raise the backoff;
+// local corruption and aggregator 4xx rejections resolve the segment
+// at its current size and push on.
+func (p *Pusher) pushSegment(name string, st *segState) bool {
+	data, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
+	if err != nil {
+		// Pruned between scan and read: the disappearance is accounted
+		// on the next pass.
+		return true
+	}
+	if int64(len(data)) > st.seenSize {
+		st.seenSize = int64(len(data))
+	}
+	size := int64(len(data))
+
+	// Pre-filter locally: a segment with no committed checkpoint yet
+	// (a freshly rotated header) has nothing to deliver, and a locally
+	// corrupt one never will — neither is worth a round trip.
+	if _, err := fed.ReadExport(bytes.NewReader(data)); err != nil {
+		if !errors.Is(err, fed.ErrNoCheckpoint) {
+			p.reject(fmt.Sprintf("%s: local segment corrupt: %v", name, err))
+		}
+		st.doneSize = size
+		return true
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.URL, bytes.NewReader(data))
+	if err != nil {
+		p.reject(fmt.Sprintf("%s: %v", name, err))
+		st.doneSize = size
+		return true
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Fed-Segment", name)
+
+	p.mu.Lock()
+	p.m.Pushed++
+	p.mu.Unlock()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.fail(fmt.Sprintf("%s: %v", name, err))
+		return false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		st.ackedSize = size
+		p.mu.Lock()
+		p.m.Acked++
+		p.mu.Unlock()
+		return true
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// Permanent for this content: the aggregator will refuse it
+		// tomorrow too. Skip (re-push only if the segment grows) and
+		// make the rejection visible.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		p.reject(fmt.Sprintf("%s: aggregator rejected (%s): %s", name, resp.Status, bytes.TrimSpace(body)))
+		st.doneSize = size
+		return true
+	default:
+		p.fail(fmt.Sprintf("%s: aggregator %s", name, resp.Status))
+		return false
+	}
+}
+
+// fail records a retryable failure and raises the backoff.
+func (p *Pusher) fail(msg string) {
+	if p.backoff == 0 {
+		p.backoff = p.cfg.BackoffMin
+	} else {
+		p.backoff *= 2
+		if p.backoff > p.cfg.BackoffMax {
+			p.backoff = p.cfg.BackoffMax
+		}
+	}
+	p.mu.Lock()
+	p.m.Retried++
+	p.m.Backoff = p.backoff
+	p.m.LastError = msg
+	p.mu.Unlock()
+}
+
+// reject records a permanent rejection (no backoff — the pipeline is
+// healthy, the content was refused).
+func (p *Pusher) reject(msg string) {
+	p.mu.Lock()
+	p.m.Rejected++
+	p.m.LastError = msg
+	p.mu.Unlock()
+}

@@ -1,0 +1,486 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semnids/internal/core"
+	"semnids/internal/fed"
+	"semnids/internal/fed/transport/faultnet"
+	"semnids/internal/incident"
+)
+
+// synthExport builds a deterministic evidence export by driving a
+// real correlator with seeded random events (the same generator shape
+// the fed wire-format tests use).
+func synthExport(t testing.TB, sensor string, seed int64, events int) *incident.EvidenceExport {
+	t.Helper()
+	return synthExportWindow(t, sensor, seed, events, 30e6)
+}
+
+func synthExportWindow(t testing.TB, sensor string, seed int64, events int, windowUS uint64) *incident.EvidenceExport {
+	t.Helper()
+	c := incident.New(incident.Config{WindowUS: windowUS, FanoutThreshold: 3})
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(seed))
+	host := func(i int) netip.Addr {
+		return netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})
+	}
+	fps := make([]core.Fingerprint, 16)
+	for i := range fps {
+		fps[i] = core.FingerprintOf([]byte(fmt.Sprintf("payload-%d", i)))
+	}
+	sev := []string{"low", "medium", "high"}
+	for i := 0; i < events; i++ {
+		src, dst := host(rng.Intn(12)), host(20+rng.Intn(12))
+		ts := uint64(1000 + rng.Intn(2_000_000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			c.Publish(core.Event{Kind: core.EventFlowOpen, TimestampUS: ts, Src: src, Dst: dst, SrcPort: 1234, DstPort: 80})
+		case 2:
+			c.Publish(core.Event{
+				Kind: core.EventAlert, TimestampUS: ts, Src: src, Dst: dst, SrcPort: 1234, DstPort: 80,
+				Fingerprint: fps[rng.Intn(len(fps))], Template: "code-red-ii", Severity: sev[rng.Intn(len(sev))],
+			})
+		case 3:
+			c.Publish(core.Event{
+				Kind: core.EventFingerprint, TimestampUS: ts, Src: dst, Dst: host(40 + rng.Intn(8)),
+				SrcPort: 4321, DstPort: 80, Fingerprint: fps[rng.Intn(len(fps))],
+			})
+		}
+	}
+	c.Flush()
+	return c.Export(sensor)
+}
+
+// encode renders an export to wire bytes.
+func encode(t testing.TB, ex *incident.EvidenceExport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fed.WriteExport(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// foldAll merges exports left to right.
+func foldAll(t testing.TB, exs ...*incident.EvidenceExport) *incident.EvidenceExport {
+	t.Helper()
+	merged := exs[0]
+	for _, ex := range exs[1:] {
+		var err error
+		if merged, err = fed.Merge(merged, ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return merged
+}
+
+// writeSegment drops one encoded export into dir under the sink's
+// segment naming convention.
+func writeSegment(t testing.TB, dir string, index int, ex *incident.EvidenceExport) string {
+	t.Helper()
+	name := fmt.Sprintf("evidence-%06d.seg", index)
+	if err := os.WriteFile(filepath.Join(dir, name), encode(t, ex), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+func newAggregator(t testing.TB, dir string, mut func(*AggregatorConfig)) *Aggregator {
+	t.Helper()
+	cfg := AggregatorConfig{Dir: dir}
+	if mut != nil {
+		mut(&cfg)
+	}
+	agg, err := NewAggregator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// post pushes raw bytes at an aggregator server, returning the status.
+func post(t testing.TB, url string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// fastPusher starts a pusher tuned for test cadence.
+func fastPusher(t testing.TB, dir, url string, client *http.Client) *Pusher {
+	t.Helper()
+	p, err := NewPusher(PusherConfig{
+		Dir:            dir,
+		URL:            url,
+		Client:         client,
+		RequestTimeout: 2 * time.Second,
+		ScanInterval:   10 * time.Millisecond,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     40 * time.Millisecond,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// waitFor polls cond for up to 10 seconds.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAggregatorStatuses locks the push endpoint's status-code
+// contract: every malformed input is refused cleanly before any fold,
+// valid pushes ack durably, and duplicates are harmless.
+func TestAggregatorStatuses(t *testing.T) {
+	agg := newAggregator(t, t.TempDir(), func(c *AggregatorConfig) { c.MaxBodyBytes = 64 << 10 })
+	defer agg.Close()
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	ex := synthExport(t, "sensor-a", 1, 300)
+	data := encode(t, ex)
+
+	if resp, err := http.Get(srv.URL); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET = %d, want 405", resp.StatusCode)
+	}
+	if got := post(t, srv.URL, []byte("not a segment")); got != http.StatusBadRequest {
+		t.Errorf("garbage body = %d, want 400", got)
+	}
+	// A header-only stream (first framed record, nothing committed).
+	header := data[:bytes.IndexByte(data, '\n')+1]
+	if got := post(t, srv.URL, header); got != http.StatusBadRequest {
+		t.Errorf("checkpoint-less body = %d, want 400", got)
+	}
+	// Mid-checkpoint truncation.
+	if got := post(t, srv.URL, data[:len(data)-3]); got != http.StatusBadRequest {
+		t.Errorf("truncated body = %d, want 400", got)
+	}
+	if m := agg.Metrics(); m.Merged != 0 {
+		t.Fatalf("rejected pushes folded evidence: %+v", m)
+	}
+
+	if got := post(t, srv.URL, data); got != http.StatusOK {
+		t.Fatalf("valid push = %d, want 200", got)
+	}
+	if !reflect.DeepEqual(agg.Export(), ex) {
+		t.Fatal("aggregator state diverged from the pushed export")
+	}
+	// Duplicate delivery: state must be byte-identical before and after.
+	before := encode(t, agg.Export())
+	if got := post(t, srv.URL, data); got != http.StatusOK {
+		t.Fatalf("duplicate push = %d, want 200", got)
+	}
+	if !bytes.Equal(encode(t, agg.Export()), before) {
+		t.Fatal("duplicate push changed the aggregator state")
+	}
+
+	// Oversized: a body over MaxBodyBytes is refused even though its
+	// committed prefix would decode.
+	big := synthExport(t, "sensor-big", 2, 20000)
+	if data := encode(t, big); int64(len(data)) > 64<<10 {
+		if got := post(t, srv.URL, data); got != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized body = %d, want 413", got)
+		}
+	} else {
+		t.Fatalf("oversized fixture only %d bytes", len(data))
+	}
+
+	// Correlation-parameter skew: same wire format, incompatible fold.
+	skew := synthExportWindow(t, "sensor-skew", 3, 300, 60e6)
+	if got := post(t, srv.URL, encode(t, skew)); got != http.StatusConflict {
+		t.Errorf("skewed parameters = %d, want 409", got)
+	}
+
+	m := agg.Metrics()
+	if m.Rejected < 3 || m.TooLarge != 1 || m.Skew != 1 || m.Merged != 2 {
+		t.Errorf("metrics = %+v, want rejected>=3 tooLarge=1 skew=1 merged=2", m)
+	}
+}
+
+// TestPusherDeliversSpool is the basic happy path: segments on disk
+// before and after the pusher starts all reach the aggregator, and
+// the folded state equals a direct merge of the same exports.
+func TestPusherDeliversSpool(t *testing.T) {
+	spool, aggDir := t.TempDir(), t.TempDir()
+	e1 := synthExport(t, "sensor-a", 1, 300)
+	e2 := synthExport(t, "sensor-a", 2, 300)
+	e3 := synthExport(t, "sensor-b", 3, 300)
+	writeSegment(t, spool, 0, e1)
+
+	agg := newAggregator(t, aggDir, nil)
+	defer agg.Close()
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	p := fastPusher(t, spool, srv.URL, nil)
+	defer p.Close()
+	waitFor(t, "first segment ack", func() bool { return p.Synced() })
+
+	// New segments appear while the pusher runs — including one that
+	// grows in place (same index, more bytes), which must be re-pushed.
+	// Synced() reflects the latest completed scan, so convergence is
+	// judged on the aggregator's state, not the pusher's gauge.
+	writeSegment(t, spool, 1, e2)
+	writeSegment(t, spool, 1, foldAll(t, e2, e3))
+	p.Notify()
+	want := encode(t, foldAll(t, e1, e2, e3))
+	waitFor(t, "aggregator to converge on the direct merge", func() bool {
+		return bytes.Equal(encode(t, agg.Export()), want)
+	})
+	waitFor(t, "acks recorded and spool drained", func() bool {
+		m := p.Metrics()
+		return m.Acked >= 2 && p.Synced()
+	})
+	if m := p.Metrics(); m.Rejected != 0 || m.Dropped != 0 {
+		t.Errorf("pusher metrics = %+v, want no rejects/drops", m)
+	}
+}
+
+// TestPusherBackoffAndRecovery pins the degradation contract: while
+// the aggregator is down the pusher backs off exponentially and the
+// spool holds everything; when it returns, the spool drains and the
+// backoff resets.
+func TestPusherBackoffAndRecovery(t *testing.T) {
+	spool := t.TempDir()
+	ex := synthExport(t, "sensor-a", 4, 300)
+	writeSegment(t, spool, 0, ex)
+
+	agg := newAggregator(t, t.TempDir(), nil)
+	defer agg.Close()
+	var up atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			http.Error(w, "down for maintenance", http.StatusServiceUnavailable)
+			return
+		}
+		agg.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	p := fastPusher(t, spool, srv.URL, nil)
+	defer p.Close()
+	waitFor(t, "retries against the dead aggregator", func() bool {
+		m := p.Metrics()
+		return m.Retried >= 3 && m.Backoff > 0 && m.Spooled == 1 && m.LastError != ""
+	})
+	if p.Synced() {
+		t.Fatal("pusher claims synced while the aggregator rejects everything")
+	}
+
+	up.Store(true)
+	waitFor(t, "catch-up after recovery", func() bool { return p.Synced() })
+	if m := p.Metrics(); m.Backoff != 0 || m.LastError != "" || m.Acked == 0 {
+		t.Errorf("post-recovery metrics = %+v, want reset backoff and an ack", m)
+	}
+	if !bytes.Equal(encode(t, agg.Export()), encode(t, ex)) {
+		t.Fatal("recovered aggregator state diverged from the spooled export")
+	}
+}
+
+// TestPusherCountsPrunedSegments: a committed segment deleted before
+// any ack is dropped evidence and must be counted, not silently
+// forgotten.
+func TestPusherCountsPrunedSegments(t *testing.T) {
+	spool := t.TempDir()
+	name := writeSegment(t, spool, 0, synthExport(t, "sensor-a", 5, 300))
+
+	// No server at all: every push fails, nothing gets acked.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+
+	p := fastPusher(t, spool, url, nil)
+	defer p.Close()
+	waitFor(t, "segment observed and spooled", func() bool {
+		m := p.Metrics()
+		return m.Spooled == 1 && m.Retried > 0
+	})
+	if err := os.Remove(filepath.Join(spool, name)); err != nil {
+		t.Fatal(err)
+	}
+	p.Notify()
+	waitFor(t, "prune accounted as dropped", func() bool {
+		m := p.Metrics()
+		return m.Dropped == 1 && m.Spooled == 0
+	})
+}
+
+// TestPusherSkipsRejectedSegment: a segment the aggregator permanently
+// refuses (parameter skew) must not wedge the spool — later segments
+// still flow, the rejection is counted.
+func TestPusherSkipsRejectedSegment(t *testing.T) {
+	spool := t.TempDir()
+	agg := newAggregator(t, t.TempDir(), nil)
+	defer agg.Close()
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	// Segment 0 fixes the aggregator's parameters; segment 1 skews;
+	// segment 2 must still get through.
+	writeSegment(t, spool, 0, synthExport(t, "sensor-a", 6, 300))
+	writeSegment(t, spool, 1, synthExportWindow(t, "sensor-a", 7, 300, 60e6))
+	writeSegment(t, spool, 2, synthExport(t, "sensor-b", 8, 300))
+
+	p := fastPusher(t, spool, srv.URL, nil)
+	defer p.Close()
+	waitFor(t, "spool resolved around the rejected segment", func() bool {
+		m := p.Metrics()
+		return m.Rejected == 1 && m.Acked >= 2 && m.Spooled == 0
+	})
+	st := agg.Export()
+	if len(st.Sensors) != 2 {
+		t.Fatalf("aggregator sensors = %v, want the two compatible segments folded", st.Sensors)
+	}
+	if m := p.Metrics(); !strings.Contains(m.LastError, "409") && m.Backoff != 0 {
+		t.Errorf("rejection raised backoff: %+v", m)
+	}
+}
+
+// TestAggregatorRestartRecovery is the kill-mid-stream property test:
+// at several seeds, an aggregator is crash-killed (no final
+// checkpoint) partway through a push sequence, restarted on the same
+// directory, and fed the rest plus re-deliveries of everything before
+// the kill. The resumed fold must be byte-identical to an
+// uninterrupted fold of the same exports — acked evidence survives
+// the crash, duplicates change nothing.
+func TestAggregatorRestartRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		dir := t.TempDir()
+		exports := make([]*incident.EvidenceExport, 4)
+		for i := range exports {
+			exports[i] = synthExport(t, fmt.Sprintf("sensor-%c", 'a'+i%2), seed*10+int64(i), 250)
+		}
+		want := encode(t, foldAll(t, exports...))
+
+		agg := newAggregator(t, dir, nil)
+		srv := httptest.NewServer(agg)
+		for _, ex := range exports[:2] {
+			if got := post(t, srv.URL, encode(t, ex)); got != http.StatusOK {
+				t.Fatalf("seed %d: pre-kill push = %d", seed, got)
+			}
+		}
+		ackedState := encode(t, agg.Export())
+		agg.Kill()
+		srv.Close()
+
+		agg2 := newAggregator(t, dir, nil)
+		if got := encode(t, agg2.Export()); !bytes.Equal(got, ackedState) {
+			t.Fatalf("seed %d: restart did not recover the acked state", seed)
+		}
+		srv2 := httptest.NewServer(agg2)
+		// Re-deliver everything acked before the kill, then the rest —
+		// the retransmit storm a real sensor fleet produces after an
+		// aggregator outage.
+		for _, ex := range append(append([]*incident.EvidenceExport{}, exports[:2]...), exports[2:]...) {
+			if got := post(t, srv2.URL, encode(t, ex)); got != http.StatusOK {
+				t.Fatalf("seed %d: post-restart push = %d", seed, got)
+			}
+		}
+		if got := encode(t, agg2.Export()); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: resumed fold diverged from the uninterrupted fold", seed)
+		}
+		agg2.Close()
+		srv2.Close()
+
+		// And the final state itself recovers once more.
+		agg3 := newAggregator(t, dir, nil)
+		if got := encode(t, agg3.Export()); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: clean-close state did not recover", seed)
+		}
+		agg3.Close()
+	}
+}
+
+// TestPushConvergesUnderFaults runs the whole transport under the
+// fault harness: drops, truncations, 5xx bursts, duplicates and
+// latency on a fixed seed, with multiple sensors pushing real sink
+// segments. Despite every injected fault the aggregator must converge
+// to exactly the clean fold of the sensors' final exports.
+func TestPushConvergesUnderFaults(t *testing.T) {
+	agg := newAggregator(t, t.TempDir(), nil)
+	defer agg.Close()
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	ft := faultnet.New(nil, faultnet.Plan{
+		Seed:       42,
+		Drop:       0.25,
+		Truncate:   0.2,
+		Err:        0.2,
+		Duplicate:  0.2,
+		MaxLatency: 2 * time.Millisecond,
+	})
+	client := &http.Client{Transport: ft}
+
+	var finals []*incident.EvidenceExport
+	var pushers []*Pusher
+	for s := 0; s < 3; s++ {
+		spool := t.TempDir()
+		// Each sensor's evidence grows across three checkpoints into
+		// rotated segments, like a live sink.
+		for i := 0; i < 3; i++ {
+			cum := foldAll(t, synthExport(t, fmt.Sprintf("sensor-%d", s), int64(s*100+1), 100*(i+1)))
+			writeSegment(t, spool, i, cum)
+			if i == 2 {
+				finals = append(finals, cum)
+			}
+		}
+		pushers = append(pushers, fastPusher(t, spool, srv.URL, client))
+	}
+	defer func() {
+		for _, p := range pushers {
+			p.Close()
+		}
+	}()
+
+	waitFor(t, "all sensors synced through the fault harness", func() bool {
+		for _, p := range pushers {
+			if !p.Synced() {
+				return false
+			}
+		}
+		return true
+	})
+
+	want := encode(t, foldAll(t, finals...))
+	if got := encode(t, agg.Export()); !bytes.Equal(got, want) {
+		t.Fatal("fold under faults diverged from the clean fold")
+	}
+	c := ft.Counts()
+	if c.Drops == 0 || c.Truncations == 0 || c.Errs == 0 || c.Duplicates == 0 {
+		t.Fatalf("fault plan did not exercise every fault kind: %+v", c)
+	}
+	if m := agg.Metrics(); m.Rejected == 0 {
+		// Truncated uploads that reach the server must have been
+		// refused (400), never folded.
+		t.Logf("note: no server-side rejections (truncations may have died client-side): %+v", m)
+	}
+}

@@ -51,6 +51,7 @@ const (
 	kindHeader     = "hdr"
 	kindCheckpoint = "ckpt"
 	kindSource     = "src"
+	kindClassifier = "cls"
 	kindCommit     = "end"
 )
 
@@ -65,19 +66,27 @@ type header struct {
 }
 
 // checkpointMark opens ("ckpt") and commits ("end") one evidence
-// snapshot of Count source records.
+// snapshot of Count source records plus Cls classifier records. The
+// opening mark also carries the snapshot's sensor provenance: unlike
+// the correlation parameters, the sensor set can grow between
+// checkpoints of one segment (an aggregator folding new sensors, an
+// engine importing foreign evidence), so it belongs to the snapshot,
+// not the segment. Absent (older segments), the header's list stands.
 type checkpointMark struct {
-	Seq   uint64 `json:"seq"`
-	Count int    `json:"count"`
+	Seq     uint64   `json:"seq"`
+	Count   int      `json:"count"`
+	Cls     int      `json:"cls,omitempty"`
+	Sensors []string `json:"sensors,omitempty"`
 }
 
 // wireRecord is the JSON envelope behind every frame.
 type wireRecord struct {
-	Kind string                   `json:"k"`
-	Hdr  *header                  `json:"hdr,omitempty"`
-	Ckpt *checkpointMark          `json:"ckpt,omitempty"`
-	Src  *incident.SourceEvidence `json:"src,omitempty"`
-	End  *checkpointMark          `json:"end,omitempty"`
+	Kind string                       `json:"k"`
+	Hdr  *header                      `json:"hdr,omitempty"`
+	Ckpt *checkpointMark              `json:"ckpt,omitempty"`
+	Src  *incident.SourceEvidence     `json:"src,omitempty"`
+	Cls  *incident.ClassifierEvidence `json:"cls,omitempty"`
+	End  *checkpointMark              `json:"end,omitempty"`
 }
 
 // ErrNoCheckpoint reports a segment with a valid header but no
@@ -161,18 +170,26 @@ func headerFor(ex *incident.EvidenceExport) *header {
 	}
 }
 
-// writeCheckpoint appends one committed evidence snapshot.
-func writeCheckpoint(w *bufio.Writer, seq uint64, sources []incident.SourceEvidence) error {
-	mark := &checkpointMark{Seq: seq, Count: len(sources)}
-	if err := writeRecord(w, &wireRecord{Kind: kindCheckpoint, Ckpt: mark}); err != nil {
+// writeCheckpoint appends one committed evidence snapshot. The commit
+// mark echoes the opening mark's counts but not the sensors — the
+// decoder validates the group on seq and counts alone.
+func writeCheckpoint(w *bufio.Writer, seq uint64, ex *incident.EvidenceExport) error {
+	open := &checkpointMark{Seq: seq, Count: len(ex.Sources), Cls: len(ex.Classifier), Sensors: ex.Sensors}
+	if err := writeRecord(w, &wireRecord{Kind: kindCheckpoint, Ckpt: open}); err != nil {
 		return err
 	}
-	for i := range sources {
-		if err := writeRecord(w, &wireRecord{Kind: kindSource, Src: &sources[i]}); err != nil {
+	for i := range ex.Sources {
+		if err := writeRecord(w, &wireRecord{Kind: kindSource, Src: &ex.Sources[i]}); err != nil {
 			return err
 		}
 	}
-	return writeRecord(w, &wireRecord{Kind: kindCommit, End: mark})
+	for i := range ex.Classifier {
+		if err := writeRecord(w, &wireRecord{Kind: kindClassifier, Cls: &ex.Classifier[i]}); err != nil {
+			return err
+		}
+	}
+	end := &checkpointMark{Seq: seq, Count: open.Count, Cls: open.Cls}
+	return writeRecord(w, &wireRecord{Kind: kindCommit, End: end})
 }
 
 // WriteExport serializes an evidence export as one complete segment:
@@ -182,7 +199,7 @@ func WriteExport(w io.Writer, ex *incident.EvidenceExport) error {
 	if err := writeRecord(bw, &wireRecord{Kind: kindHeader, Hdr: headerFor(ex)}); err != nil {
 		return err
 	}
-	if err := writeCheckpoint(bw, 1, ex.Sources); err != nil {
+	if err := writeCheckpoint(bw, 1, ex); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -230,9 +247,12 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 		Limits:          hdr.Limits,
 	}
 	var committed []incident.SourceEvidence
+	var committedCls []incident.ClassifierEvidence
+	committedSensors := hdr.Sensors
 	haveCommit := false
 
 	var pending []incident.SourceEvidence
+	var pendingCls []incident.ClassifierEvidence
 	var open *checkpointMark
 	for {
 		rec, err := readRecord(br)
@@ -244,26 +264,38 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 		}
 		switch rec.Kind {
 		case kindCheckpoint:
-			if rec.Ckpt == nil || rec.Ckpt.Count < 0 {
-				open, pending = nil, nil
+			if rec.Ckpt == nil || rec.Ckpt.Count < 0 || rec.Ckpt.Cls < 0 {
+				open, pending, pendingCls = nil, nil, nil
 				continue
 			}
 			open = rec.Ckpt
 			pending = pending[:0]
+			pendingCls = pendingCls[:0]
 		case kindSource:
 			if open == nil || rec.Src == nil || len(pending) >= open.Count {
-				open, pending = nil, nil
+				open, pending, pendingCls = nil, nil, nil
 				continue
 			}
 			pending = append(pending, *rec.Src)
+		case kindClassifier:
+			if open == nil || rec.Cls == nil || len(pendingCls) >= open.Cls {
+				open, pending, pendingCls = nil, nil, nil
+				continue
+			}
+			pendingCls = append(pendingCls, *rec.Cls)
 		case kindCommit:
-			if open == nil || rec.End == nil || rec.End.Seq != open.Seq || rec.End.Count != open.Count || len(pending) != open.Count {
-				open, pending = nil, nil
+			if open == nil || rec.End == nil || rec.End.Seq != open.Seq || rec.End.Count != open.Count ||
+				rec.End.Cls != open.Cls || len(pending) != open.Count || len(pendingCls) != open.Cls {
+				open, pending, pendingCls = nil, nil, nil
 				continue
 			}
 			committed = append(committed[:0], pending...)
+			committedCls = append(committedCls[:0], pendingCls...)
+			if open.Sensors != nil {
+				committedSensors = open.Sensors
+			}
 			haveCommit = true
-			open, pending = nil, nil
+			open, pending, pendingCls = nil, nil, nil
 		default:
 			// Unknown minor-format record: skip (framing still holds).
 		}
@@ -271,7 +303,9 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 	if !haveCommit {
 		return nil, ErrNoCheckpoint
 	}
+	ex.Sensors = committedSensors
 	ex.Sources = committed
+	ex.Classifier = committedCls
 	return ex, nil
 }
 

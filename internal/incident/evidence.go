@@ -118,16 +118,86 @@ type SourceEvidence struct {
 	Victims         []VictimEvidence `json:"victims,omitempty"`
 }
 
+// ClassifierEvidence is one source's classification-stage state: the
+// distinct dark-space addresses it has touched (a sub-threshold scan
+// count, as a set so it merges idempotently) and its suspicious-list
+// expiry. Persisting it alongside the correlator's evidence means a
+// restarted or failed-over sensor does not grant a slow scanner a
+// fresh start: two touches before the restart plus one after still
+// cross a threshold of three.
+type ClassifierEvidence struct {
+	Src netip.Addr `json:"src"`
+
+	// SuspiciousUntilUS is the trace-time expiry of the source's
+	// suspicious mark (honeypot contact, completed scan, or alert);
+	// zero when the source is only part-way to a verdict.
+	SuspiciousUntilUS uint64 `json:"suspicious_until_us,omitempty"`
+
+	// Dark is the sorted set of distinct dark-space addresses the
+	// source has touched. Membership is the evidence; the scan count
+	// is its length.
+	Dark []netip.Addr `json:"dark,omitempty"`
+}
+
 // EvidenceExport is one sensor's evidence snapshot (or the merge of
 // several sensors'): the correlation parameters the evidence was
 // gathered under, plus every tracked source's evidence, sorted by
-// source address.
+// source address — and, when the sensor runs a classifier, its
+// per-source classification state (sub-threshold scan sets and
+// suspicious marks), so selection behavior survives restart and
+// failover too.
 type EvidenceExport struct {
 	Sensors         []string
 	WindowUS        uint64
 	FanoutThreshold int
 	Limits          EvidenceLimits
 	Sources         []SourceEvidence
+	Classifier      []ClassifierEvidence
+}
+
+// MergeClassifierEvidence unions two classifier evidence sets:
+// per-source dark sets union, suspicious expiries fold to the
+// maximum. Commutative and idempotent like every other evidence fold,
+// and sorted (sources by address, dark sets by address) so the same
+// state always serializes to the same bytes.
+func MergeClassifierEvidence(a, b []ClassifierEvidence) []ClassifierEvidence {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	bySrc := make(map[netip.Addr]*ClassifierEvidence, len(a)+len(b))
+	fold := func(recs []ClassifierEvidence) {
+		for i := range recs {
+			rec := &recs[i]
+			m := bySrc[rec.Src]
+			if m == nil {
+				m = &ClassifierEvidence{Src: rec.Src}
+				bySrc[rec.Src] = m
+			}
+			if rec.SuspiciousUntilUS > m.SuspiciousUntilUS {
+				m.SuspiciousUntilUS = rec.SuspiciousUntilUS
+			}
+			m.Dark = append(m.Dark, rec.Dark...)
+		}
+	}
+	fold(a)
+	fold(b)
+	out := make([]ClassifierEvidence, 0, len(bySrc))
+	for _, m := range bySrc {
+		sort.Slice(m.Dark, func(i, j int) bool { return m.Dark[i].Less(m.Dark[j]) })
+		dedup := m.Dark[:0]
+		for _, d := range m.Dark {
+			if len(dedup) == 0 || d != dedup[len(dedup)-1] {
+				dedup = append(dedup, d)
+			}
+		}
+		m.Dark = dedup
+		if len(m.Dark) == 0 {
+			m.Dark = nil
+		}
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src.Less(out[j].Src) })
+	return out
 }
 
 // limits snapshots the correlator's evidence caps.
@@ -474,6 +544,7 @@ func MergeExports(a, b *EvidenceExport) (*EvidenceExport, error) {
 	}
 	merged := c.exportMerged()
 	merged.Sensors = unionSensors(a.Sensors, b.Sensors)
+	merged.Classifier = MergeClassifierEvidence(a.Classifier, b.Classifier)
 	return merged, nil
 }
 

@@ -26,6 +26,7 @@ package nids
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"net/netip"
 	"strings"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"semnids/internal/core"
 	"semnids/internal/engine"
 	"semnids/internal/fed"
+	"semnids/internal/fed/transport"
 	"semnids/internal/incident"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
@@ -270,6 +272,37 @@ type EngineConfig struct {
 	IncidentExportRotateBytes int64
 	IncidentExportRotateEvery time.Duration
 	IncidentCheckpointEvery   time.Duration
+
+	// IncidentKeepSegments bounds the sink's retained segments — which
+	// is also the push spool bound: with PushURL set, segments pruned
+	// before they were acked are dropped evidence (counted in
+	// SinkStats().Push.Dropped). 0 = default 4.
+	IncidentKeepSegments int
+
+	// PushURL, when non-empty, streams committed evidence segments to
+	// a federation aggregator (cmd/fedagg, or any transport.Aggregator)
+	// with retry/backoff and spool-and-forward degradation: the sink's
+	// segment directory is the spool, so an unreachable aggregator
+	// costs lag, never ingest throughput. Requires Correlate and
+	// IncidentExportDir.
+	PushURL string
+
+	// PushInterval is the pusher's idle spool re-scan cadence (default
+	// 2s); PushTimeout bounds one upload end to end (default 10s);
+	// PushBackoffMin / PushBackoffMax bound the jittered exponential
+	// retry backoff (defaults 250ms / 30s).
+	PushInterval   time.Duration
+	PushTimeout    time.Duration
+	PushBackoffMin time.Duration
+	PushBackoffMax time.Duration
+
+	// PushClient overrides the pusher's HTTP client. Replacing its
+	// Transport is the fault-injection hook (see fed/transport/faultnet).
+	PushClient *http.Client
+
+	// PushSeed seeds the pusher's backoff jitter (default 1); fixed
+	// seeds make fault-injection runs deterministic.
+	PushSeed int64
 }
 
 // Incident is one source's correlated kill-chain activity.
@@ -295,8 +328,20 @@ type IncidentMetrics = incident.Metrics
 // snapshot — the unit of cross-sensor federation.
 type EvidenceExport = incident.EvidenceExport
 
-// SinkMetrics reports durable evidence-sink counters.
-type SinkMetrics = fed.SinkMetrics
+// SinkMetrics reports durable evidence-sink counters plus — when a
+// PushURL is configured — the push transport's health: segments
+// pushed/acked/retried/spooled, drops where prune outran push, and
+// the current backoff state.
+type SinkMetrics struct {
+	fed.SinkMetrics
+
+	// Push is the push-transport snapshot (zero value without PushURL).
+	Push PushMetrics
+}
+
+// PushMetrics reports federation push-transport counters and health
+// gauges. See transport.PushMetrics.
+type PushMetrics = transport.PushMetrics
 
 // MergeEvidence federates two evidence exports: commutative,
 // idempotent, provenance-preserving. See fed.Merge.
@@ -333,6 +378,10 @@ type Engine struct {
 	// imports into it).
 	sink   atomic.Pointer[fed.Sink]
 	sensor string
+
+	// push streams committed sink segments to the aggregator when
+	// PushURL is configured; nil otherwise.
+	push *transport.Pusher
 
 	// pool recycles packet structs and payload buffers across every
 	// trace fed through Run/Replay — one pool for the engine's
@@ -387,6 +436,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.SensorID != "" {
 		ecfg.SensorID = cfg.SensorID
 	}
+	if cfg.PushURL != "" && (!cfg.Correlate || cfg.IncidentExportDir == "") {
+		e.shutdownPartial()
+		return nil, fmt.Errorf("nids: PushURL requires Correlate and IncidentExportDir (the sink's segment directory is the push spool)")
+	}
 	e.inner = engine.New(ecfg)
 	e.sensor = e.inner.SensorID()
 	if cfg.Correlate && cfg.IncidentExportDir != "" {
@@ -405,19 +458,36 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 					cfg.IncidentExportDir, err)
 			}
 		}
-		corr, sensor := e.corr, e.sensor
 		sink, err := fed.OpenSink(fed.SinkConfig{
 			Dir:             cfg.IncidentExportDir,
 			RotateBytes:     cfg.IncidentExportRotateBytes,
 			RotateEvery:     cfg.IncidentExportRotateEvery,
 			CheckpointEvery: cfg.IncidentCheckpointEvery,
-			Export:          func() *EvidenceExport { return corr.Export(sensor) },
+			KeepSegments:    cfg.IncidentKeepSegments,
+			Export:          e.exportEvidence,
 		})
 		if err != nil {
 			e.shutdownPartial()
 			return nil, fmt.Errorf("nids: incident sink: %w", err)
 		}
 		e.sink.Store(sink)
+		if cfg.PushURL != "" {
+			push, err := transport.NewPusher(transport.PusherConfig{
+				Dir:            cfg.IncidentExportDir,
+				URL:            cfg.PushURL,
+				Client:         cfg.PushClient,
+				RequestTimeout: cfg.PushTimeout,
+				ScanInterval:   cfg.PushInterval,
+				BackoffMin:     cfg.PushBackoffMin,
+				BackoffMax:     cfg.PushBackoffMax,
+				Seed:           cfg.PushSeed,
+			})
+			if err != nil {
+				e.shutdownPartial()
+				return nil, fmt.Errorf("nids: push transport: %w", err)
+			}
+			e.push = push
+		}
 	}
 	e.pool = netpkt.NewPacketPool()
 	return e, nil
@@ -431,6 +501,9 @@ func (e *Engine) shutdownPartial() {
 	}
 	if e.corr != nil {
 		e.corr.Stop()
+	}
+	if s := e.sink.Load(); s != nil {
+		s.Close()
 	}
 }
 
@@ -523,6 +596,11 @@ func (e *Engine) Drain() {
 		// applied — the natural durability point between traces.
 		s.Notify()
 	}
+	if e.push != nil {
+		// And a spool scan right behind it, so the fresh checkpoint
+		// heads for the aggregator without waiting out the interval.
+		e.push.Notify()
+	}
 }
 
 // Flush is Drain under the batch detector's name, so the engine is a
@@ -541,6 +619,11 @@ func (e *Engine) Stop() {
 	}
 	if s := e.sink.Load(); s != nil {
 		s.Close()
+	}
+	if e.push != nil {
+		// After the sink's final checkpoint, so the pusher's closing
+		// sweep offers the complete evidence to the aggregator.
+		e.push.Close()
 	}
 }
 
@@ -582,16 +665,32 @@ func (e *Engine) IncidentStats() IncidentMetrics {
 	return e.corr.Metrics()
 }
 
+// exportEvidence snapshots the full durable state of this sensor: the
+// correlator's evidence plus the classifier's per-source state
+// (sub-threshold dark-space scan sets, suspicious marks), so a
+// restart restores selection behavior along with attacker evidence.
+func (e *Engine) exportEvidence() *EvidenceExport {
+	ex := e.corr.Export(e.sensor)
+	for _, st := range e.inner.Classifier().ExportState() {
+		ex.Classifier = append(ex.Classifier, incident.ClassifierEvidence{
+			Src:               st.Src,
+			SuspiciousUntilUS: st.SuspiciousUntilUS,
+			Dark:              st.Dark,
+		})
+	}
+	return ex
+}
+
 // ExportIncidents writes the correlator's current evidence state —
 // every tracked source's min-K timestamp sets, fingerprints and
-// derived stage, stamped with this engine's sensor ID — in the
-// versioned wire format cmd/fedmerge and ImportIncidents consume.
-// Errors without Correlate.
+// derived stage, stamped with this engine's sensor ID — plus the
+// classifier's per-source scan state, in the versioned wire format
+// cmd/fedmerge and ImportIncidents consume. Errors without Correlate.
 func (e *Engine) ExportIncidents(w io.Writer) error {
 	if e.corr == nil {
 		return fmt.Errorf("nids: ExportIncidents requires Correlate")
 	}
-	return fed.WriteExport(w, e.corr.Export(e.sensor))
+	return fed.WriteExport(w, e.exportEvidence())
 }
 
 // ImportIncidents folds another sensor's evidence export (or a prior
@@ -625,15 +724,58 @@ func (e *Engine) importEvidence(ex *EvidenceExport) error {
 			cl.MarkSuspicious(rec.Src, rec.LastSeenUS)
 		}
 	}
+	if len(ex.Classifier) > 0 {
+		states := make([]classify.SourceState, 0, len(ex.Classifier))
+		for i := range ex.Classifier {
+			rec := &ex.Classifier[i]
+			states = append(states, classify.SourceState{
+				Src:               rec.Src,
+				SuspiciousUntilUS: rec.SuspiciousUntilUS,
+				Dark:              rec.Dark,
+			})
+		}
+		cl.ImportState(states)
+	}
 	return nil
 }
 
 // SinkStats returns durable-sink counters (zero value when no
-// IncidentExportDir is configured).
+// IncidentExportDir is configured) plus push-transport health when a
+// PushURL is configured.
 func (e *Engine) SinkStats() SinkMetrics {
+	var m SinkMetrics
+	if s := e.sink.Load(); s != nil {
+		m.SinkMetrics = s.Metrics()
+	}
+	if e.push != nil {
+		m.Push = e.push.Metrics()
+	}
+	return m
+}
+
+// PushSynced reports whether every committed evidence byte on disk has
+// been acknowledged by the aggregator (false with no PushURL, and
+// until the pusher's first completed scan).
+func (e *Engine) PushSynced() bool {
+	return e.push != nil && e.push.Synced()
+}
+
+// CheckpointIncidents writes one evidence checkpoint synchronously:
+// it returns after the snapshot is framed, flushed and fsynced. Drain
+// only *requests* a checkpoint (the sink never blocks the hot path),
+// so a caller that needs the durability point before acting on it —
+// waiting out a push with PushSynced, copying the segment directory —
+// calls this first. No-op without IncidentExportDir.
+func (e *Engine) CheckpointIncidents() error {
 	s := e.sink.Load()
 	if s == nil {
-		return SinkMetrics{}
+		return nil
 	}
-	return s.Metrics()
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	if e.push != nil {
+		e.push.Notify()
+	}
+	return nil
 }
