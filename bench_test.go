@@ -7,6 +7,7 @@ package nids
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"semnids/internal/sem"
 	"semnids/internal/shellcode"
 	"semnids/internal/sigmatch"
+	"semnids/internal/telemetry"
 	"semnids/internal/traffic"
 	"semnids/internal/x86"
 )
@@ -329,6 +331,50 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				e.Drain()
 			}
 			assertCRII(b, e)
+		})
+	}
+}
+
+// BenchmarkEngineThroughputTelemetry is the telemetry-overhead
+// ablation: the BenchmarkEngineThroughput serial workload with a
+// registry attached and the Prometheus exposition rendered every
+// iteration — a scrape cadence far denser than production. Compare
+// shards-N here against shards-N in BenchmarkEngineThroughput: the
+// delta is the full cost of instrumentation plus scraping, and must
+// stay within noise (the acceptance budget is 3%).
+func BenchmarkEngineThroughputTelemetry(b *testing.B) {
+	spec := traffic.TraceSpec{Seed: 9, BenignSessions: 120, CodeRedInstances: 2}
+	pkts := traffic.Synthesize(spec)
+	var total int64
+	for _, p := range pkts {
+		total += int64(len(p.Payload))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			e := engine.New(engine.Config{
+				Classify:         classify.Config{Disabled: true},
+				Shards:           shards,
+				VerdictCacheSize: -1,
+				Telemetry:        reg,
+			})
+			defer e.Stop()
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkts {
+					e.Process(p)
+				}
+				e.Drain()
+				if err := telemetry.WritePrometheus(io.Discard, reg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if e.Snapshot().Packets == 0 {
+				b.Fatal("engine processed nothing")
+			}
 		})
 	}
 }

@@ -14,14 +14,22 @@
 //
 // Endpoints:
 //
-//	POST /push    one evidence segment in the versioned wire format
-//	GET  /report  current federated incident report (text; ?json=1 for JSONL)
-//	GET  /export  current merged evidence export (wire format)
-//	GET  /stats   aggregator + sink counters (JSON)
+//	POST /push         one evidence segment in the versioned wire format
+//	GET  /report       current federated incident report (text; ?json=1 for
+//	                   JSONL with per-incident timelines, ack times annotated)
+//	GET  /export       current merged evidence export (wire format)
+//	GET  /metrics      Prometheus text exposition (aggregator + sink series)
+//	GET  /statusz      JSON snapshot of every registered series
+//	GET  /stats        alias for /statusz (kept for older scrapers)
+//	GET  /healthz      200 ready / 503 while recovering or draining
+//	GET  /debug/pprof  runtime profiles
+//
+// On SIGINT/SIGTERM the daemon flips /healthz to draining (503) so
+// load balancers stop routing to it, waits out -drain-grace for
+// in-flight pushes, then closes the listener and checkpoints.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -35,6 +43,7 @@ import (
 	"semnids/internal/fed/transport"
 	"semnids/internal/incident"
 	"semnids/internal/report"
+	"semnids/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +59,7 @@ func run() int {
 		rotateEvery  = flag.Duration("rotate-every", 0, "sink segment rotation age (0 = default)")
 		keepSegments = flag.Int("keep-segments", 0, "sink segments to retain (0 = default)")
 		asyncAck     = flag.Bool("async-ack", false, "acknowledge pushes before the fold is durably committed (lower latency, crash may lose acked evidence)")
+		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "on shutdown signal, serve 503 on /healthz this long before closing the listener")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -75,7 +85,23 @@ func run() int {
 			*dir, strings.Join(st.Sensors, ","), len(st.Sources))
 	}
 
-	mux := http.NewServeMux()
+	// The observability surface is the shared telemetry mux (the same
+	// one `semnids -listen` serves), with the aggregator's own routes
+	// layered on top. NewAggregator returns only after recovery, so the
+	// "state" check is set once, here.
+	health := telemetry.NewHealth()
+	health.Set("state", true, "recovered")
+	telemetry.RegisterProcessMetrics(agg.Telemetry())
+	statusInfo := func() map[string]any {
+		st := agg.Export()
+		info := map[string]any{"dir": *dir}
+		if st != nil {
+			info["sensors"] = st.Sensors
+			info["sources"] = len(st.Sources)
+		}
+		return info
+	}
+	mux := telemetry.NewMux(agg.Telemetry(), health, statusInfo)
 	mux.Handle("/push", agg)
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		st := agg.Export()
@@ -89,6 +115,10 @@ func run() int {
 			return
 		}
 		if r.URL.Query().Get("json") != "" {
+			// The JSONL view carries per-incident timelines; annotate
+			// them with this aggregator's wall-clock ack times so the
+			// report shows packet → stage → acked end to end.
+			agg.AnnotateTimelines(incidents)
 			report.WriteIncidentsJSON(w, incidents)
 			return
 		}
@@ -104,12 +134,11 @@ func run() int {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		fed.WriteExport(w, st)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	// /stats predates /statusz; keep it as an alias on the same encoder
+	// so existing scrapers see the superset document.
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Aggregator transport.AggregatorMetrics
-			Sink       fed.SinkMetrics
-		}{agg.Metrics(), agg.SinkStats()})
+		telemetry.WriteStatusJSON(w, agg.Telemetry(), statusInfo())
 	})
 
 	srv := &http.Server{
@@ -129,8 +158,15 @@ func run() int {
 		agg.Close()
 		return 1
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "fedagg: %v, checkpointing and shutting down\n", sig)
+		fmt.Fprintf(os.Stderr, "fedagg: %v, draining then shutting down\n", sig)
 	}
+	// Graceful drain: advertise not-ready first so health-checking load
+	// balancers stop routing here, give in-flight (and just-routed)
+	// pushes the grace period to land, then close the listener and
+	// checkpoint. Sensors retry anything unacked, so cutting the grace
+	// short costs re-pushes, never evidence.
+	health.SetDraining(true)
+	time.Sleep(*drainGrace)
 	srv.Close()
 	agg.Close()
 	return 0

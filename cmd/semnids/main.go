@@ -9,6 +9,7 @@
 //	        [-correlate] [-incident-window 30s] [-stats]
 //	        [-sensor ID] [-export FILE] [-import-incidents FILE] [-export-dir DIR]
 //	        [-export-keep N] [-push URL] [-push-wait 5s]
+//	        [-listen :9443] [-stats-interval 10s]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -all the classifier is disabled and every payload is analyzed
@@ -41,6 +42,15 @@
 // -stats adds the push transport's health line
 // (pushed/acked/retried/spooled, backoff).
 //
+// -listen serves the live telemetry surface while the run lasts
+// (implies -stream): /metrics (Prometheus text exposition), /statusz
+// (JSON snapshot of every registered series), /healthz (readiness:
+// spool recovered, engine running) and /debug/pprof. -stats-interval
+// (also implies -stream) emits the /statusz document to stderr as one
+// JSON line per interval — the same encoder, usable with or without
+// -listen, so headless runs still leave a machine-readable telemetry
+// trail.
+//
 // -cpuprofile and -memprofile write pprof profiles of the run (CPU
 // for its duration, heap at exit), so operators can profile a live
 // sensor configuration with `go tool pprof` without rebuilding.
@@ -49,6 +59,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -94,6 +106,8 @@ func run() int {
 		pushURL    = flag.String("push", "", "stream evidence segments to a federation aggregator at this URL, e.g. http://agg:9444/push (requires -export-dir)")
 		pushWait   = flag.Duration("push-wait", 0, "after the trace, wait up to this long for the aggregator to ack the spool (with -push)")
 		stats      = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
+		listen     = flag.String("listen", "", "serve /metrics, /statusz, /healthz and /debug/pprof on this address while the run lasts (implies -stream)")
+		statsEvery = flag.Duration("stats-interval", 0, "emit a JSON-lines /statusz snapshot to stderr at this interval (implies -stream)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -161,6 +175,9 @@ func run() int {
 	if *exportPath != "" || *importPath != "" || *exportDir != "" || *pushURL != "" {
 		*correlate = true
 	}
+	if *listen != "" || *statsEvery > 0 {
+		*stream = true
+	}
 	if *stream || *correlate {
 		return runEngine(cfg, *pcapPath, engineOpts{
 			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
@@ -170,6 +187,7 @@ func run() int {
 			importPath: *importPath, exportDir: *exportDir,
 			exportKeep: *exportKeep,
 			pushURL:    *pushURL, pushWait: *pushWait,
+			listen: *listen, statsEvery: *statsEvery,
 		})
 	}
 
@@ -225,6 +243,8 @@ type engineOpts struct {
 	exportKeep     int
 	pushURL        string
 	pushWait       time.Duration
+	listen         string
+	statsEvery     time.Duration
 }
 
 // runEngine feeds the trace through the streaming engine, optionally
@@ -248,6 +268,40 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 		return 1
 	}
 	defer e.Stop()
+	if opts.listen != "" {
+		ln, err := net.Listen("tcp", opts.listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+		srv := &http.Server{Handler: e.TelemetryHandler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "semnids: telemetry on http://%s/\n", ln.Addr())
+	}
+	if opts.statsEvery > 0 {
+		// Reuses the /statusz encoder: each tick is one JSON object on
+		// one stderr line, so `semnids ... 2>stats.jsonl` captures a
+		// machine-readable telemetry trail even without -listen.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(opts.statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := e.WriteStatus(os.Stderr); err != nil {
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
+	}
 	if opts.importPath != "" {
 		in, err := os.Open(opts.importPath)
 		if err != nil {

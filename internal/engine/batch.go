@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"semnids/internal/classify"
 	"semnids/internal/netpkt"
 )
@@ -19,6 +21,13 @@ type batchEntry struct {
 // futex wake) covers a whole batch instead of every packet.
 type pktBatch struct {
 	entries []batchEntry
+
+	// created is stamped when the batch receives its first packet and
+	// read by the shard after the last packet is analyzed — the
+	// ingest→verdict latency series at one clock read per batch,
+	// amortizing the wall-clock cost the hot path would otherwise pay
+	// per packet.
+	created time.Time
 }
 
 // Feeder is a per-goroutine ingestion handle. The engine's Process is
@@ -79,6 +88,7 @@ func (f *Feeder) Process(p *netpkt.Packet) {
 			p.Release()
 			return
 		}
+		b.created = time.Now()
 		f.pending[si] = b
 	}
 	b.entries = append(b.entries, batchEntry{pkt: p, reason: reason})
@@ -129,7 +139,14 @@ func (f *Feeder) dispatch(si int) {
 		}
 		return
 	}
-	s.in <- shardMsg{batch: b}
+	select {
+	case s.in <- shardMsg{batch: b}:
+		// Fast path: queue had room, no backpressure to record.
+	default:
+		t0 := time.Now()
+		s.in <- shardMsg{batch: b}
+		f.e.tel.dispatchWaitNS.Observe(time.Since(t0).Nanoseconds())
+	}
 }
 
 // Flush dispatches every pending partial batch.

@@ -26,6 +26,7 @@ package engine
 import (
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,7 @@ import (
 	"semnids/internal/core"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
+	"semnids/internal/telemetry"
 )
 
 // OverloadPolicy selects what Process does when a shard queue is full.
@@ -117,6 +119,15 @@ type Config struct {
 	// OnAlert, when non-nil, is invoked synchronously for each alert
 	// (from shard goroutines).
 	OnAlert func(core.Alert)
+
+	// Telemetry receives the engine's live metric series (counters and
+	// gauges bridged at scrape time, latency histograms fed from the
+	// hot path). Nil creates a private registry, so instrumentation
+	// handles are always valid and the hot path carries no nil checks;
+	// pass a shared registry to expose the series over HTTP. Each
+	// engine needs its own registry (per-shard series are named by
+	// shard id).
+	Telemetry *telemetry.Registry
 
 	// OnEvent, when non-nil, taps the shard hot path: flow opens,
 	// alerts (with payload fingerprints), per-frame fingerprint
@@ -208,6 +219,26 @@ type Engine struct {
 		cacheHits, cacheMisses              atomic.Uint64
 		evictedIdle, evictedLRU             atomic.Uint64
 	}
+
+	// tel holds the hot-path telemetry handles. The registry itself
+	// mostly bridges the m counters via scrape-time funcs; only the
+	// latency histograms are written from the packet path, and each
+	// write is a handful of atomic adds (0 allocs, pinned by
+	// TestEngineTelemetryAllocs).
+	tel struct {
+		reg *telemetry.Registry
+
+		// ingestNS: batch first-append to batch fully analyzed (the
+		// ingest→verdict pipeline latency, batch-amortized so the hot
+		// path pays one clock read per batch, not per packet).
+		// dispatchWaitNS: time a feeder spent blocked handing a batch
+		// to a full shard queue (backpressure wait; ~0 when healthy).
+		// frameNS: one semantic analysis of one frame (cache misses
+		// and uncached runs; hits bypass analysis and the clock).
+		ingestNS       *telemetry.Histogram
+		dispatchWaitNS *telemetry.Histogram
+		frameNS        *telemetry.Histogram
+	}
 }
 
 // New builds and starts an engine: its shard goroutines run until
@@ -266,11 +297,78 @@ func New(cfg Config) *Engine {
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(e, i)
-		go e.shards[i].run()
+	}
+	e.registerTelemetry()
+	for _, s := range e.shards {
+		go s.run()
 	}
 	e.feeder = e.NewFeeder()
 	return e
 }
+
+// registerTelemetry installs the engine's metric series. Counters the
+// engine already maintains are bridged with scrape-time funcs (zero
+// hot-path cost); only the latency histograms are recorded inline.
+func (e *Engine) registerTelemetry() {
+	if e.cfg.Telemetry == nil {
+		e.cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg := e.cfg.Telemetry
+	e.tel.reg = reg
+
+	cf := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, v.Load)
+	}
+	cf("semnids_engine_packets_total", "Packets offered to the engine.", &e.m.packets)
+	cf("semnids_engine_selected_total", "Packets passing classification into shard analysis.", &e.m.selected)
+	cf("semnids_engine_dropped_total", "Packets shed under overload (PolicyShed).", &e.m.dropped)
+	cf("semnids_engine_streams_analyzed_total", "Stream views handed to extraction+analysis.", &e.m.streams)
+	cf("semnids_engine_frames_total", "Frames extracted and resolved.", &e.m.frames)
+	cf("semnids_engine_frame_bytes_total", "Bytes across resolved frames.", &e.m.frameBytes)
+	cf("semnids_engine_alerts_total", "Deduplicated detections emitted.", &e.m.alerts)
+	cf("semnids_engine_cache_hits_total", "Verdict-cache hits (analysis skipped).", &e.m.cacheHits)
+	cf("semnids_engine_cache_misses_total", "Verdict-cache misses (analysis ran).", &e.m.cacheMisses)
+	cf(`semnids_engine_flows_evicted_total{reason="idle"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedIdle)
+	cf(`semnids_engine_flows_evicted_total{reason="lru"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedLRU)
+	if e.cache != nil {
+		reg.CounterFunc("semnids_engine_cache_rejected_total", "Verdict-cache inserts refused by TinyLFU admission.", e.cache.rejects)
+		reg.GaugeFunc("semnids_engine_cache_entries", "Verdict-cache occupancy.", func() int64 { return int64(e.cache.len()) })
+	}
+	reg.GaugeFunc("semnids_engine_flows_active", "Tracked flows summed over shards.", func() int64 {
+		var n int64
+		for _, s := range e.shards {
+			n += s.flows.Load()
+		}
+		return n
+	})
+	reg.GaugeFunc("semnids_engine_buffered_bytes", "Reassembly bytes buffered, summed over shards.", func() int64 {
+		var n int64
+		for _, s := range e.shards {
+			n += s.bytes.Load()
+		}
+		return n
+	})
+	for _, s := range e.shards {
+		s := s
+		id := strconv.Itoa(s.id)
+		reg.GaugeFunc(`semnids_engine_shard_queue_depth{shard="`+id+`"}`,
+			"Packets dispatched to the shard and not yet analyzed.", s.queued.Load)
+		reg.GaugeFunc(`semnids_engine_shard_pps{shard="`+id+`"}`,
+			"EWMA shard processing rate, packets per trace-second.", func() int64 {
+				return int64(math.Float64frombits(s.ewmaPPS.Load()))
+			})
+	}
+	e.tel.ingestNS = reg.Histogram("semnids_engine_ingest_latency_ns",
+		"Batch first-packet to batch fully analyzed (ingest-to-verdict).")
+	e.tel.dispatchWaitNS = reg.Histogram("semnids_engine_dispatch_wait_ns",
+		"Feeder blocked handing a batch to a full shard queue (backpressure).")
+	e.tel.frameNS = reg.Histogram("semnids_analyzer_frame_ns",
+		"One semantic analysis of one extracted frame (cache misses only).")
+}
+
+// Telemetry returns the engine's metric registry (the configured one,
+// or the private default).
+func (e *Engine) Telemetry() *telemetry.Registry { return e.cfg.Telemetry }
 
 // Classifier exposes the shared classification stage (e.g. to
 // pre-register suspicious sources).
@@ -397,12 +495,11 @@ func (e *Engine) Snapshot() Metrics {
 	for i, s := range e.shards {
 		m.FlowsActive += int(s.flows.Load())
 		m.BufferedBytes += int(s.bytes.Load())
-		queued := int(s.queued.Load())
-		if queued < 0 {
-			queued = 0
-		}
+		// queued accounting is exact: incremented before a batch is
+		// sent, decremented per packet as each completes, so the load
+		// is never negative and needs no clamp.
 		m.Shards[i] = ShardMetrics{
-			QueueLen:      queued,
+			QueueLen:      int(s.queued.Load()),
 			QueueCap:      e.cfg.QueueDepth,
 			PacketsPerSec: math.Float64frombits(s.ewmaPPS.Load()),
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semnids/internal/classify"
 	"semnids/internal/core"
@@ -49,9 +50,10 @@ type shard struct {
 
 	// batchCap is the dispatch granularity; free is the ring of batch
 	// buffers shuttling between feeders and this shard. queued counts
-	// the packets currently enqueued or being processed (exact, for
-	// the Snapshot gauge — batch counts would overstate occupancy by
-	// up to batchCap under trickle traffic).
+	// the packets currently enqueued or being processed exactly:
+	// incremented per batch before the send, decremented per packet as
+	// each is analyzed, so readers see true occupancy (never negative,
+	// never overstated by a whole in-progress batch).
 	batchCap int
 	free     chan *pktBatch
 	queued   atomic.Int64
@@ -131,8 +133,12 @@ func (s *shard) run() {
 				s.handle(en.pkt, en.reason)
 				en.pkt.Release()
 				*en = batchEntry{}
+				// Decrement per packet, not per batch: the queue gauge
+				// then counts exactly the packets not yet analyzed, even
+				// mid-batch, and can never undershoot past zero.
+				s.queued.Add(-1)
 			}
-			s.queued.Add(-int64(len(msg.batch.entries)))
+			s.eng.tel.ingestNS.Observe(time.Since(msg.batch.created).Nanoseconds())
 			msg.batch.entries = msg.batch.entries[:0]
 			s.putBatch(msg.batch)
 		}
@@ -303,11 +309,15 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 			ds = cached
 		} else {
 			e.m.cacheMisses.Add(1)
+			t0 := time.Now()
 			ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
+			e.tel.frameNS.Observe(time.Since(t0).Nanoseconds())
 			e.cache.put(fp, ds)
 		}
 	} else {
+		t0 := time.Now()
 		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
+		e.tel.frameNS.Observe(time.Since(t0).Nanoseconds())
 	}
 	if tap != nil {
 		tap(core.Event{

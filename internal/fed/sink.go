@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"semnids/internal/incident"
+	"semnids/internal/telemetry"
 )
 
 // segPrefix/segSuffix name sink segments: evidence-NNNNNN.seg,
@@ -49,6 +50,11 @@ type SinkConfig struct {
 	// newest one guaranteed to hold a committed checkpoint — always
 	// survives a rotation).
 	KeepSegments int
+
+	// Telemetry receives the sink's metric series: counters bridged at
+	// scrape time plus the checkpoint fsync-latency histogram (the
+	// floor under every durable ack). Nil creates a private registry.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg SinkConfig) withDefaults() SinkConfig {
@@ -104,6 +110,10 @@ type Sink struct {
 		checkpoints, rotations, dropped, errors atomic.Uint64
 	}
 
+	// fsyncNS times one checkpoint's frame+flush+fsync — the sink
+	// goroutine's write cost and the latency floor of a durable ack.
+	fsyncNS *telemetry.Histogram
+
 	// Writer state, sink goroutine only.
 	f        *os.File
 	bw       *bufio.Writer
@@ -152,8 +162,23 @@ func OpenSink(cfg SinkConfig) (*Sink, error) {
 		s.segIndex = segs[len(segs)-1].index + 1
 		s.committedSeg = segs[len(segs)-1].index
 	}
+	s.registerTelemetry()
 	go s.run()
 	return s, nil
+}
+
+// registerTelemetry installs the sink's metric series.
+func (s *Sink) registerTelemetry() {
+	if s.cfg.Telemetry == nil {
+		s.cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg := s.cfg.Telemetry
+	reg.CounterFunc("semnids_sink_checkpoints_total", "Committed evidence checkpoints.", s.m.checkpoints.Load)
+	reg.CounterFunc("semnids_sink_rotations_total", "Segment rollovers.", s.m.rotations.Load)
+	reg.CounterFunc("semnids_sink_dropped_total", "Checkpoint triggers coalesced into a pending one.", s.m.dropped.Load)
+	reg.CounterFunc("semnids_sink_errors_total", "Failed checkpoint writes (retried on the next trigger).", s.m.errors.Load)
+	s.fsyncNS = reg.Histogram("semnids_sink_checkpoint_fsync_ns",
+		"One checkpoint written durably: frame, flush and fsync.")
 }
 
 // Notify requests a checkpoint. Never blocks: a request arriving
@@ -315,9 +340,14 @@ func (s *Sink) rotate(ex *incident.EvidenceExport) error {
 
 // append writes one committed checkpoint group and syncs it to disk.
 func (s *Sink) append(ex *incident.EvidenceExport) error {
-	return s.writeFrames(func(bw *bufio.Writer) error {
+	t0 := time.Now()
+	err := s.writeFrames(func(bw *bufio.Writer) error {
 		return writeCheckpoint(bw, s.seq, ex)
 	})
+	if err == nil {
+		s.fsyncNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return err
 }
 
 // writeFrames runs one framed write against the current segment,

@@ -40,12 +40,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"semnids/internal/fed"
 	"semnids/internal/incident"
+	"semnids/internal/telemetry"
 )
 
 // AggregatorConfig parameterizes an evidence aggregator.
@@ -74,6 +76,11 @@ type AggregatorConfig struct {
 	// for latency; an aggregator crash may then lose acked evidence
 	// until the sensor's next full-snapshot checkpoint re-delivers it.
 	AsyncAck bool
+
+	// Telemetry receives the aggregator's metric series (and is shared
+	// with its sink, so one scrape covers both). Nil creates a private
+	// registry.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg AggregatorConfig) withDefaults() AggregatorConfig {
@@ -120,7 +127,25 @@ type Aggregator struct {
 	m struct {
 		received, merged, rejected, tooLarge, skew, errors atomic.Uint64
 	}
+
+	// foldNS times one accepted push end to end on the aggregator:
+	// decode, fold, durable commit.
+	foldNS *telemetry.Histogram
+
+	// ackedAt records, per source address, the wall clock (Unix µs) of
+	// the first durable fold whose evidence covered that source — the
+	// aggregator-side endpoint of the packet→…→acked timeline.
+	// Wall-clock and arrival-dependent, so it is exposed only through
+	// AnnotateTimelines (report annotations), never folded into the
+	// evidence wire format, which must stay deterministic. Bounded by
+	// maxAckedSources; overflow is dropped (annotation is best-effort
+	// observability, the evidence itself is not affected).
+	ackMu   sync.Mutex
+	ackedAt map[netip.Addr]uint64
 }
+
+// maxAckedSources bounds the ack-time annotation table.
+const maxAckedSources = 65536
 
 // NewAggregator recovers the newest committed state from the sink
 // directory (if any) and starts the durable sink.
@@ -129,7 +154,10 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("transport: aggregator needs a sink directory")
 	}
-	a := &Aggregator{cfg: cfg}
+	a := &Aggregator{cfg: cfg, ackedAt: make(map[netip.Addr]uint64)}
+	if a.cfg.Telemetry == nil {
+		a.cfg.Telemetry = telemetry.NewRegistry()
+	}
 	rec, err := fed.Recover(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("transport: aggregator recovery: %w", err)
@@ -142,12 +170,82 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		CheckpointEvery: cfg.CheckpointEvery,
 		KeepSegments:    cfg.KeepSegments,
 		Export:          a.Export,
+		Telemetry:       a.cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transport: aggregator sink: %w", err)
 	}
 	a.sink = sink
+	a.registerTelemetry()
 	return a, nil
+}
+
+// registerTelemetry installs the aggregator's metric series (its sink
+// registered on the same registry in NewAggregator).
+func (a *Aggregator) registerTelemetry() {
+	reg := a.cfg.Telemetry
+	reg.CounterFunc("semnids_agg_received_total", "Push requests received.", a.m.received.Load)
+	reg.CounterFunc("semnids_agg_merged_total", "Pushes folded into the merged state.", a.m.merged.Load)
+	reg.CounterFunc("semnids_agg_rejected_total", "Bodies refused as corrupt or checkpoint-less (400).", a.m.rejected.Load)
+	reg.CounterFunc("semnids_agg_too_large_total", "Bodies over MaxBodyBytes (413).", a.m.tooLarge.Load)
+	reg.CounterFunc("semnids_agg_skew_total", "Pushes with incompatible correlation parameters (409).", a.m.skew.Load)
+	reg.CounterFunc("semnids_agg_errors_total", "Folds that merged but failed the durable commit (500).", a.m.errors.Load)
+	reg.GaugeFunc("semnids_agg_sensors", "Distinct sensors in the merged state.", func() int64 {
+		st := a.Export()
+		if st == nil {
+			return 0
+		}
+		return int64(len(st.Sensors))
+	})
+	reg.GaugeFunc("semnids_agg_sources", "Distinct sources in the merged state.", func() int64 {
+		st := a.Export()
+		if st == nil {
+			return 0
+		}
+		return int64(len(st.Sources))
+	})
+	reg.GaugeFunc("semnids_agg_acked_sources", "Sources with a recorded first durable-ack time.", func() int64 {
+		a.ackMu.Lock()
+		defer a.ackMu.Unlock()
+		return int64(len(a.ackedAt))
+	})
+	a.foldNS = reg.Histogram("semnids_agg_push_fold_ns",
+		"One accepted push: decode, fold, durable commit.")
+}
+
+// Telemetry returns the aggregator's metric registry (configured or
+// private), shared with its durable sink.
+func (a *Aggregator) Telemetry() *telemetry.Registry { return a.cfg.Telemetry }
+
+// recordAcks stamps the first durable-ack wall time for every source
+// covered by a committed fold. Called after the push's evidence is
+// durable (or queued durable under AsyncAck).
+func (a *Aggregator) recordAcks(ex *incident.EvidenceExport) {
+	now := uint64(time.Now().UnixMicro())
+	a.ackMu.Lock()
+	defer a.ackMu.Unlock()
+	for i := range ex.Sources {
+		src := ex.Sources[i].Src
+		if _, ok := a.ackedAt[src]; !ok && len(a.ackedAt) < maxAckedSources {
+			a.ackedAt[src] = now
+		}
+	}
+}
+
+// AnnotateTimelines appends an "acked" wall-clock timeline event to
+// every incident whose source has a recorded first durable ack. It
+// annotates copies derived downstream of the evidence — the evidence
+// itself, and therefore federation determinism, is untouched. The
+// input slice is modified in place and returned.
+func (a *Aggregator) AnnotateTimelines(incs []incident.Incident) []incident.Incident {
+	a.ackMu.Lock()
+	defer a.ackMu.Unlock()
+	for i := range incs {
+		if at, ok := a.ackedAt[incs[i].Src]; ok {
+			incs[i].AppendTimeline(incident.TimelineEvent{Kind: "acked", AtUS: at, Wall: true})
+		}
+	}
+	return incs
 }
 
 // Export returns the current merged evidence state (nil before the
@@ -215,6 +313,7 @@ func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.m.received.Add(1)
+	t0 := time.Now()
 
 	// Bound the body before the decoder sees it. The decoder's own
 	// MaxRecordBytes bound refuses oversized per-record claims before
@@ -267,6 +366,8 @@ func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("transport: durable commit failed: %v", err), http.StatusInternalServerError)
 		return
 	}
+	a.recordAcks(ex)
+	a.foldNS.Observe(time.Since(t0).Nanoseconds())
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ok\n")
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"semnids/internal/fed"
+	"semnids/internal/telemetry"
 )
 
 // PusherConfig parameterizes a segment pusher.
@@ -48,6 +49,12 @@ type PusherConfig struct {
 	// Seed seeds the backoff jitter (default 1). Fixed seeds make
 	// fault-injection runs deterministic.
 	Seed int64
+
+	// Telemetry receives the pusher's metric series: counters and
+	// health gauges bridged at scrape time, push round-trip and
+	// written→acked latency histograms, and the spool-age gauge. Nil
+	// creates a private registry.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg PusherConfig) withDefaults() PusherConfig {
@@ -106,6 +113,14 @@ type segState struct {
 	seenSize  int64 // newest observed size
 	ackedSize int64 // bytes acked by the aggregator
 	doneSize  int64 // bytes handled without an ack (no committed checkpoint, or rejected)
+
+	// unackedSince is the wall clock when unacked bytes were first
+	// observed in this segment (zero when fully handled): the start
+	// point of the written→acked latency observation and the basis of
+	// the spool-age gauge. Scan-granular on the "written" side — the
+	// pusher discovers writes by scanning, it is not on the sink's
+	// write path.
+	unackedSince time.Time
 }
 
 // handled reports the byte count already resolved (acked, skipped or
@@ -139,6 +154,15 @@ type Pusher struct {
 	segs    map[int]*segState
 	backoff time.Duration
 
+	// rttNS times one push round trip (request out to status back);
+	// ackLatNS spans unacked bytes first observed to their durable
+	// ack — the sensor-side half of the evidence-written→acked
+	// end-to-end latency. spoolAgeMS gauges the oldest unacked bytes'
+	// age, updated each scan (0 = fully synced).
+	rttNS      *telemetry.Histogram
+	ackLatNS   *telemetry.Histogram
+	spoolAgeMS *telemetry.Gauge
+
 	mu sync.Mutex
 	m  PushMetrics
 	// notifyGen counts Notify calls; scanGen is the notifyGen value
@@ -170,8 +194,47 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if p.client == nil {
 		p.client = &http.Client{}
 	}
+	p.registerTelemetry()
 	go p.run()
 	return p, nil
+}
+
+// registerTelemetry installs the pusher's metric series. Counters are
+// bridged from the Metrics snapshot under its mutex — scrape-time
+// cost only.
+func (p *Pusher) registerTelemetry() {
+	if p.cfg.Telemetry == nil {
+		p.cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg := p.cfg.Telemetry
+	cf := func(name, help string, get func(PushMetrics) uint64) {
+		reg.CounterFunc(name, help, func() uint64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return get(p.m)
+		})
+	}
+	cf("semnids_push_scans_total", "Completed spool scans.", func(m PushMetrics) uint64 { return m.Scans })
+	cf("semnids_push_pushed_total", "Segment upload attempts.", func(m PushMetrics) uint64 { return m.Pushed })
+	cf("semnids_push_acked_total", "Uploads acknowledged durably by the aggregator.", func(m PushMetrics) uint64 { return m.Acked })
+	cf("semnids_push_retried_total", "Failed uploads left spooled for retry.", func(m PushMetrics) uint64 { return m.Retried })
+	cf("semnids_push_rejected_total", "Uploads permanently refused (4xx) and skipped.", func(m PushMetrics) uint64 { return m.Rejected })
+	cf("semnids_push_dropped_total", "Segments pruned before their evidence was acked.", func(m PushMetrics) uint64 { return m.Dropped })
+	reg.GaugeFunc("semnids_push_spooled_segments", "Segments holding unacked bytes as of the latest scan.", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(p.m.Spooled)
+	})
+	reg.GaugeFunc("semnids_push_backoff_ms", "Current retry backoff (0 = healthy).", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.m.Backoff.Milliseconds()
+	})
+	p.rttNS = reg.Histogram("semnids_push_rtt_ns", "One push round trip to the aggregator.")
+	p.ackLatNS = reg.Histogram("semnids_push_ack_latency_ns",
+		"Unacked evidence bytes first observed to their durable aggregator ack.")
+	p.spoolAgeMS = reg.Gauge("semnids_push_spool_age_ms",
+		"Age of the oldest unacked spool bytes (0 = synced).")
 }
 
 // Notify nudges a spool scan without waiting for the next interval.
@@ -279,6 +342,9 @@ func (p *Pusher) syncPass() {
 		if seg.Size > st.seenSize {
 			st.seenSize = seg.Size
 		}
+		if st.seenSize > st.handled() && st.unackedSince.IsZero() {
+			st.unackedSince = time.Now()
+		}
 		if ok && st.seenSize > st.handled() {
 			if !p.pushSegment(seg.Name, st) {
 				ok = false // keep scanning for spool accounting, stop pushing
@@ -287,11 +353,22 @@ func (p *Pusher) syncPass() {
 	}
 
 	spooled := 0
+	var oldest time.Time
 	for _, st := range p.segs {
 		if st.seenSize > st.handled() {
 			spooled++
+			if oldest.IsZero() || st.unackedSince.Before(oldest) {
+				oldest = st.unackedSince
+			}
+		} else {
+			st.unackedSince = time.Time{}
 		}
 	}
+	var ageMS int64
+	if !oldest.IsZero() {
+		ageMS = time.Since(oldest).Milliseconds()
+	}
+	p.spoolAgeMS.Set(ageMS)
 	p.mu.Lock()
 	p.m.Scans++
 	p.m.Spooled = spooled
@@ -345,7 +422,9 @@ func (p *Pusher) pushSegment(name string, st *segState) bool {
 	p.mu.Lock()
 	p.m.Pushed++
 	p.mu.Unlock()
+	t0 := time.Now()
 	resp, err := p.client.Do(req)
+	p.rttNS.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		p.fail(fmt.Sprintf("%s: %v", name, err))
 		return false
@@ -354,6 +433,10 @@ func (p *Pusher) pushSegment(name string, st *segState) bool {
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		st.ackedSize = size
+		if !st.unackedSince.IsZero() {
+			p.ackLatNS.Observe(time.Since(st.unackedSince).Nanoseconds())
+			st.unackedSince = time.Time{}
+		}
 		p.mu.Lock()
 		p.m.Acked++
 		p.mu.Unlock()

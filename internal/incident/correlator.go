@@ -4,10 +4,12 @@ import (
 	"container/list"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"semnids/internal/core"
+	"semnids/internal/telemetry"
 )
 
 // Config parameterizes the correlator.
@@ -68,6 +70,13 @@ type Config struct {
 	// incident as derived at that moment. The callback must not call
 	// back into the correlator.
 	OnIncident func(Incident)
+
+	// Telemetry receives the correlator's metric series: event
+	// counters bridged at scrape time plus kill-chain stage-transition
+	// latency histograms (trace-time first-packet→stage, observed as
+	// each source's derived stage rises). Nil creates a private
+	// registry so the hot path never nil-checks.
+	Telemetry *telemetry.Registry
 }
 
 // maxAttackersPerFingerprint bounds how many distinct attackers one
@@ -166,6 +175,12 @@ type Correlator struct {
 		subDropped                                          atomic.Uint64
 	}
 
+	// stageLatUS, indexed by Stage, records trace-time µs from a
+	// source's first packet to each derived stage crossing — the
+	// kill-chain response-latency series ROADMAP asks for as a
+	// measured quantity.
+	stageLatUS [StagePropagation + 1]*telemetry.Histogram
+
 	subMu   sync.Mutex
 	subs    map[int]chan Incident
 	nextSub int
@@ -181,8 +196,41 @@ func New(cfg Config) *Correlator {
 		subs:    make(map[int]chan Incident),
 	}
 	c.in = make(chan msg, c.cfg.QueueDepth)
+	c.registerTelemetry()
 	go c.run()
 	return c
+}
+
+// registerTelemetry installs the correlator's metric series: existing
+// counters bridged with scrape-time funcs, stage-latency histograms
+// recorded as stages rise.
+func (c *Correlator) registerTelemetry() {
+	if c.cfg.Telemetry == nil {
+		c.cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg := c.cfg.Telemetry
+	reg.CounterFunc("semnids_incident_events_total", "Events received by the correlator.", c.m.events.Load)
+	reg.CounterFunc(`semnids_incident_events_by_kind_total{kind="flow_open"}`, "Events by kind.", c.m.flowOpens.Load)
+	reg.CounterFunc(`semnids_incident_events_by_kind_total{kind="alert"}`, "Events by kind.", c.m.alerts.Load)
+	reg.CounterFunc(`semnids_incident_events_by_kind_total{kind="fingerprint"}`, "Events by kind.", c.m.fingerprints.Load)
+	reg.CounterFunc(`semnids_incident_events_by_kind_total{kind="flow_evict"}`, "Events by kind.", c.m.flowEvicts.Load)
+	reg.CounterFunc(`semnids_incident_sources_evicted_total{reason="lru"}`, "Sources finalized to bound state.", c.m.evictedLRU.Load)
+	reg.CounterFunc(`semnids_incident_sources_evicted_total{reason="idle"}`, "Sources finalized to bound state.", c.m.evictedIdle.Load)
+	reg.CounterFunc("semnids_incident_incidents_total", "Sources whose derived stage rose above NONE.", c.m.incidents.Load)
+	reg.CounterFunc("semnids_incident_sub_dropped_total", "Subscriber deliveries shed on full buffers.", c.m.subDropped.Load)
+	reg.GaugeFunc("semnids_incident_sources_tracked", "Live per-source state machines.", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.sources))
+	})
+	reg.GaugeFunc("semnids_incident_queue_depth", "Events buffered toward the correlator goroutine.", func() int64 {
+		return int64(len(c.in))
+	})
+	for st := StageRecon; st <= StagePropagation; st++ {
+		c.stageLatUS[st] = reg.Histogram(
+			`semnids_incident_stage_latency_us{stage="`+strings.ToLower(st.String())+`"}`,
+			"Trace-time µs from a source's first packet to each derived kill-chain stage.")
+	}
 }
 
 // Publish offers one event. It blocks when the bounded queue is full
@@ -478,8 +526,18 @@ func (c *Correlator) notify(s *sourceState) {
 	if s.notified == StageNone {
 		c.m.incidents.Add(1)
 	}
+	prev := s.notified
 	s.notified = st
 	inc := s.derive(c.cfg.WindowUS, c.cfg.FanoutThreshold)
+	// Observe first-packet→stage latency once per stage, as it rises.
+	// Trace time, from the same derived transitions the incident
+	// renders, so the measured quantity is exactly what the report
+	// shows.
+	for _, t := range inc.Transitions {
+		if t.Stage > prev && t.Stage <= st {
+			c.stageLatUS[t.Stage].Observe(int64(t.AtUS) - int64(inc.FirstUS))
+		}
+	}
 	if c.cfg.OnIncident != nil {
 		c.cfg.OnIncident(inc)
 	}

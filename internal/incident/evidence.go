@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"semnids/internal/core"
+	"semnids/internal/telemetry"
 )
 
 // This file is the federation half of the correlator: a source's
@@ -505,7 +506,7 @@ const mergeLimit = 1 << 30
 // same state, same fold code, no goroutine (nothing is published to
 // it and Stop must not be called).
 func newMergeState(ex *EvidenceExport) *Correlator {
-	return &Correlator{
+	c := &Correlator{
 		cfg: Config{
 			WindowUS:        ex.WindowUS,
 			FanoutThreshold: ex.FanoutThreshold,
@@ -519,6 +520,12 @@ func newMergeState(ex *EvidenceExport) *Correlator {
 		lru:     list.New(),
 		subs:    make(map[int]chan Incident),
 	}
+	// Unregistered histograms keep the fold path free of nil checks;
+	// a scratch merge's latency observations are discarded with it.
+	for st := StageRecon; st <= StagePropagation; st++ {
+		c.stageLatUS[st] = telemetry.NewHistogram()
+	}
+	return c
 }
 
 // MergeExports federates two sensors' evidence: the union of their

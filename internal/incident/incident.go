@@ -70,6 +70,40 @@ type Transition struct {
 	AtUS  uint64
 }
 
+// maxTimelineEvents bounds an incident's timeline ring: first-packet,
+// three kill-chain stages and federation annotations fit with slack,
+// and a misbehaving annotator can only rotate the ring, not grow it.
+const maxTimelineEvents = 8
+
+// TimelineEvent is one entry in an incident's bounded timeline ring.
+// Pipeline events ("first-packet" and the derived stage crossings)
+// carry trace time and are computed from the evidence, so they are as
+// deterministic as the incident itself. Wall-clock entries (Wall
+// true; the aggregator's "acked" durability annotation) are stamped
+// where they happen and never enter the evidence wire format — they
+// are observations about *this process run*, not about the trace.
+type TimelineEvent struct {
+	// Kind names the event: "first-packet", "recon", "exploit",
+	// "propagation", or an annotation such as "acked".
+	Kind string
+
+	// AtUS is the event instant: trace-time µs when Wall is false,
+	// Unix µs when Wall is true.
+	AtUS uint64
+
+	// Wall marks wall-clock annotations.
+	Wall bool
+}
+
+// AppendTimeline appends ev, keeping the newest maxTimelineEvents
+// entries (the ring's bound).
+func (inc *Incident) AppendTimeline(ev TimelineEvent) {
+	inc.Timeline = append(inc.Timeline, ev)
+	if len(inc.Timeline) > maxTimelineEvents {
+		inc.Timeline = inc.Timeline[len(inc.Timeline)-maxTimelineEvents:]
+	}
+}
+
 // Incident is one source's correlated activity, rendered from its
 // evidence at snapshot time.
 type Incident struct {
@@ -96,6 +130,12 @@ type Incident struct {
 
 	// Transitions holds the derived stage history in stage order.
 	Transitions []Transition
+
+	// Timeline is the incident's bounded event ring: first-packet and
+	// the stage crossings (derived, trace time), plus any wall-clock
+	// annotations appended downstream (e.g. the aggregator's durable
+	// "acked"). Derived entries are deterministic; see TimelineEvent.
+	Timeline []TimelineEvent
 }
 
 // String renders a one-line operator view.
@@ -401,6 +441,17 @@ func (s *sourceState) derive(windowUS uint64, threshold int) Incident {
 			inc.Victims = append(inc.Victims, v.String())
 		}
 		sort.Strings(inc.Victims)
+	}
+
+	// The timeline ring opens with the first observed packet and adds
+	// one entry per derived stage crossing — all trace time, all a
+	// function of the evidence, so timelines federate as
+	// deterministically as the incidents themselves.
+	if inc.FirstUS > 0 {
+		inc.AppendTimeline(TimelineEvent{Kind: "first-packet", AtUS: inc.FirstUS})
+	}
+	for _, t := range inc.Transitions {
+		inc.AppendTimeline(TimelineEvent{Kind: strings.ToLower(t.Stage.String()), AtUS: t.AtUS})
 	}
 	return inc
 }

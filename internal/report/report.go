@@ -122,18 +122,29 @@ type JSONTransition struct {
 	AtUS  uint64 `json:"at_us"`
 }
 
+// JSONTimelineEvent is the serialized form of one incident timeline
+// entry. AtUS is trace-time µs for derived pipeline events and Unix
+// µs for wall-clock annotations (wall true), matching
+// incident.TimelineEvent.
+type JSONTimelineEvent struct {
+	Kind string `json:"kind"`
+	AtUS uint64 `json:"at_us"`
+	Wall bool   `json:"wall,omitempty"`
+}
+
 // JSONIncident is the serialized form of one correlated incident.
 type JSONIncident struct {
-	Src          string           `json:"src"`
-	Stage        string           `json:"stage"`
-	Severity     string           `json:"severity"`
-	FirstUS      uint64           `json:"first_us"`
-	LastUS       uint64           `json:"last_us"`
-	Destinations int              `json:"destinations"`
-	Alerts       int              `json:"alerts"`
-	Templates    []string         `json:"templates,omitempty"`
-	Victims      []string         `json:"victims,omitempty"`
-	Transitions  []JSONTransition `json:"transitions,omitempty"`
+	Src          string              `json:"src"`
+	Stage        string              `json:"stage"`
+	Severity     string              `json:"severity"`
+	FirstUS      uint64              `json:"first_us"`
+	LastUS       uint64              `json:"last_us"`
+	Destinations int                 `json:"destinations"`
+	Alerts       int                 `json:"alerts"`
+	Templates    []string            `json:"templates,omitempty"`
+	Victims      []string            `json:"victims,omitempty"`
+	Transitions  []JSONTransition    `json:"transitions,omitempty"`
+	Timeline     []JSONTimelineEvent `json:"timeline,omitempty"`
 }
 
 // ToJSONIncident converts an incident.
@@ -151,6 +162,9 @@ func ToJSONIncident(inc incident.Incident) JSONIncident {
 	}
 	for _, t := range inc.Transitions {
 		out.Transitions = append(out.Transitions, JSONTransition{Stage: t.Stage.String(), AtUS: t.AtUS})
+	}
+	for _, ev := range inc.Timeline {
+		out.Timeline = append(out.Timeline, JSONTimelineEvent{Kind: ev.Kind, AtUS: ev.AtUS, Wall: ev.Wall})
 	}
 	return out
 }

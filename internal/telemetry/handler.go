@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewMux bundles the standard observability surface onto one
+// http.ServeMux:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/statusz      JSON snapshot of reg (info() merged in, may be nil)
+//	/healthz      200 when ready, 503 when a check fails or draining
+//	/debug/pprof  the net/http/pprof handlers, bound explicitly so
+//	              nothing leaks onto http.DefaultServeMux
+//
+// Both daemons (semnids -listen, fedagg) and tests mount exactly this
+// mux, optionally adding their own routes on the returned value.
+// health may be nil (always ready); info may be nil.
+func NewMux(reg *Registry, health *Health, info func() map[string]any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var m map[string]any
+		if info != nil {
+			m = info()
+		}
+		_ = WriteStatusJSON(w, reg, m)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		ready, draining := true, false
+		var checks []CheckStatus
+		if health != nil {
+			ready, draining, checks = health.Ready()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Ready    bool          `json:"ready"`
+			Draining bool          `json:"draining,omitempty"`
+			Checks   []CheckStatus `json:"checks,omitempty"`
+		}{Ready: ready, Draining: draining, Checks: checks})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterProcessMetrics adds process-level series (uptime,
+// goroutines, heap) to reg, evaluated at scrape time.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("semnids_process_uptime_seconds", "Seconds since telemetry registration.", func() int64 {
+		return int64(time.Since(start).Seconds())
+	})
+	reg.GaugeFunc("semnids_process_goroutines", "Live goroutine count.", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("semnids_process_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Health tracks named readiness checks plus a drain flag. A process
+// is ready when every registered check passes and it is not
+// draining; /healthz reports 200/503 accordingly. Draining is
+// deliberately separate from check failure: flipping it tells load
+// balancers to stop sending work while the process finishes in-flight
+// requests, without implying anything is broken.
+type Health struct {
+	mu       sync.Mutex
+	checks   map[string]checkState
+	draining bool
+}
+
+type checkState struct {
+	ok     bool
+	detail string
+}
+
+// NewHealth builds an empty health tracker (vacuously ready).
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]checkState)}
+}
+
+// Set records the state of one named check. detail is surfaced in the
+// /healthz body ("recovered 3 segments", "engine stopped", ...).
+func (h *Health) Set(name string, ok bool, detail string) {
+	h.mu.Lock()
+	h.checks[name] = checkState{ok: ok, detail: detail}
+	h.mu.Unlock()
+}
+
+// SetDraining flips the drain flag. While draining, Ready reports
+// false regardless of check states.
+func (h *Health) SetDraining(d bool) {
+	h.mu.Lock()
+	h.draining = d
+	h.mu.Unlock()
+}
+
+// CheckStatus is one named check's reported state.
+type CheckStatus struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ready reports overall readiness plus per-check detail, checks
+// sorted by name for stable rendering.
+func (h *Health) Ready() (ready, draining bool, checks []CheckStatus) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ready = !h.draining
+	for name, st := range h.checks {
+		if !st.ok {
+			ready = false
+		}
+		checks = append(checks, CheckStatus{Name: name, OK: st.ok, Detail: st.detail})
+	}
+	sort.Slice(checks, func(i, j int) bool { return checks[i].Name < checks[j].Name })
+	return ready, h.draining, checks
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucketing: HDR-style log-linear over non-negative int64
+// values. The first 8 buckets hold the exact values 0..7; above that,
+// each power-of-two octave is split into 8 sub-buckets keyed by the
+// three bits below the leading bit, giving a worst-case relative
+// error of 12.5% per bucket across the full int64 range. The bucket
+// array is fixed at registration (no resizing, no allocation on
+// Observe) and every slot is an independent atomic, so concurrent
+// observers never contend on a lock.
+const (
+	histSubBits = 3                // sub-buckets per octave = 2^3
+	histSub     = 1 << histSubBits // 8
+	// Octaves cover leading-bit lengths 4..63 (positive int64), so
+	// the final bucket's upper bound is exactly MaxInt64.
+	histBuckets  = histSub + (63-histSubBits)*histSub
+	histMaxIdx   = histBuckets - 1
+	histExactMax = histSub - 1 // values 0..7 bucket exactly
+)
+
+// bucketIndex maps a value to its bucket. Negative values clamp to
+// bucket 0; values near MaxInt64 clamp to the last bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	u := uint64(v)
+	if u <= histExactMax {
+		return int(u)
+	}
+	l := bits.Len64(u) // >= 4 here
+	sub := int((u >> (uint(l) - histSubBits - 1)) & (histSub - 1))
+	idx := histSub + (l-histSubBits-1)*histSub + sub
+	if idx > histMaxIdx {
+		idx = histMaxIdx
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of bucket idx — the
+// largest value that maps to it.
+func bucketUpper(idx int) int64 {
+	if idx <= histExactMax {
+		return int64(idx)
+	}
+	oct := (idx - histSub) / histSub // == bits.Len64 - 4 of members
+	sub := (idx - histSub) % histSub
+	// Members have leading-bit length oct+4 and top-4-bits sub+8:
+	// [ (sub+8)<<oct , (sub+9)<<oct - 1 ].
+	u := (uint64(sub)+histSub+1)<<uint(oct) - 1
+	if u > uint64(1<<63-1) {
+		return 1<<63 - 1
+	}
+	return int64(u)
+}
+
+// Histogram is a fixed-size log-bucketed latency histogram. All
+// methods are safe for concurrent use; Observe performs three atomic
+// adds and (rarely) a CAS loop for the max, and never allocates.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram builds an unregistered histogram (registered ones come
+// from Registry.Histogram).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value. Negative values count as 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Bucket is one populated histogram bucket in a snapshot: Upper is
+// the inclusive upper bound of the value range it covers.
+type Bucket struct {
+	Upper int64  `json:"upper"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, the unit of
+// merging and quantile queries. Buckets holds only populated buckets
+// in ascending Upper order.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Concurrent Observes may land between
+// field reads, so Count is authoritative and bucket totals may lag it
+// by in-flight observations; quantile math tolerates this.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Merge combines two snapshots bucket-wise. It is commutative and
+// associative: counts and sums add, maxes take the larger, and
+// buckets with equal bounds coalesce — merging per-shard or
+// per-sensor histograms is therefore order-independent.
+func Merge(a, b HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Max: a.Max}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Upper < b.Buckets[j].Upper):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Upper < a.Buckets[i].Upper:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Upper: a.Buckets[i].Upper, Count: a.Buckets[i].Count + b.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Quantile returns an upper bound on the q-th quantile (0 <= q <= 1)
+// of the recorded values: the upper bound of the bucket containing
+// the ceil(q*n)-th smallest observation. Returns 0 on an empty
+// snapshot. Monotone non-decreasing in q by construction (cumulative
+// bucket walk).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}

@@ -1,0 +1,192 @@
+// Package telemetry is the process-wide live-metrics subsystem: a
+// registry of allocation-free atomic counters and gauges plus
+// log-bucketed fixed-size latency histograms, cheap enough to live on
+// the packet hot path, with hand-rolled exposition (Prometheus text
+// format, JSON status snapshots, health checks) and no external
+// dependencies.
+//
+// Design constraints, in order:
+//
+//   - Zero allocation on the record path. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations on memory
+//     obtained once at registration; TestRecordAllocs pins this.
+//   - Reads never stop writers. Exposition walks atomics with plain
+//     Loads; a scrape under full ingest load observes a slightly
+//     torn-across-series snapshot, never a stalled shard.
+//   - Derived values are pulled, not pushed. Subsystems that already
+//     maintain atomic counters (engine, correlator, sink) register
+//     CounterFunc/GaugeFunc closures evaluated only at scrape time,
+//     so instrumenting an existing counter costs the hot path
+//     nothing at all.
+//
+// Metric names follow Prometheus conventions (snake_case families,
+// unit suffixes, `_total` on counters) and may carry a label suffix
+// in the name itself — `engine_shard_queue_depth{shard="3"}` — which
+// exposition groups into one family with per-label series.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates registered metric types for exposition.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metricEntry is one registered metric: a name (family plus optional
+// label suffix), help text, and exactly one live value source.
+type metricEntry struct {
+	name string // full series name, e.g. `engine_queue{shard="0"}`
+	help string
+	kind kind
+
+	counter     *Counter
+	counterFunc func() uint64
+	gauge       *Gauge
+	gaugeFunc   func() int64
+	hist        *Histogram
+}
+
+// counterValue resolves the entry's current counter reading.
+func (m *metricEntry) counterValue() uint64 {
+	if m.counterFunc != nil {
+		return m.counterFunc()
+	}
+	return m.counter.Value()
+}
+
+// gaugeValue resolves the entry's current gauge reading.
+func (m *metricEntry) gaugeValue() int64 {
+	if m.gaugeFunc != nil {
+		return m.gaugeFunc()
+	}
+	return m.gauge.Value()
+}
+
+// family splits a series name into its family and label suffix
+// (`engine_queue{shard="0"}` -> `engine_queue`, `shard="0"`).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// Registry holds named metrics. Registration is idempotent: asking
+// for an existing name of the same kind returns the existing handle,
+// so two subsystems (or one restarted in tests) can share a registry
+// without double-registration panics; a kind mismatch panics, since
+// it is always a programming error.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*metricEntry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// register installs an entry, returning the existing one on an
+// idempotent re-registration.
+func (r *Registry) register(e *metricEntry) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.entries[e.name]; ok {
+		if old.kind != e.kind {
+			panic(fmt.Sprintf("telemetry: %q re-registered as a different kind", e.name))
+		}
+		return old
+	}
+	r.entries[e.name] = e
+	return e
+}
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(&metricEntry{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return e.counter
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — the zero-hot-path-cost bridge to counters a subsystem
+// already maintains. The function must be safe to call from any
+// goroutine. On an idempotent re-registration the first function
+// wins.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(&metricEntry{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(&metricEntry{name: name, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return e.gauge
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(&metricEntry{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// Histogram registers (or returns) the named histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	e := r.register(&metricEntry{name: name, help: help, kind: kindHistogram, hist: NewHistogram()})
+	return e.hist
+}
+
+// sorted returns the entries ordered by (family, labels) — the
+// stable exposition order, grouping a family's labeled series.
+func (r *Registry) sorted() []*metricEntry {
+	r.mu.RLock()
+	out := make([]*metricEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		fi, li := family(out[i].name)
+		fj, lj := family(out[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+	return out
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBucketRoundTrip: every value lands in a bucket whose bounds
+// contain it, and bucket upper bounds are strictly increasing — the
+// invariants quantile math rests on.
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []int64{0, 1, 7, 8, 9, 15, 16, 17, 1023, 1024, math.MaxInt64, math.MaxInt64 - 1, -5}
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63n(1<<uint(4+rng.Intn(59))))
+	}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx > histMaxIdx {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		up := bucketUpper(idx)
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if want > up {
+			t.Fatalf("value %d: bucket %d upper %d below value", v, idx, up)
+		}
+		if idx > 0 {
+			lo := bucketUpper(idx-1) + 1
+			if want < lo {
+				t.Fatalf("value %d: bucket %d lower %d above value", v, idx, lo)
+			}
+		}
+		// Relative error bound: upper exceeds the value by < 12.5%.
+		if want > histExactMax && float64(up-want) > 0.125*float64(want)+1 {
+			t.Fatalf("value %d: bucket upper %d exceeds 12.5%% error", v, up)
+		}
+	}
+	for i := 1; i <= histMaxIdx; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+}
+
+// TestHistogramNoOverflow: extreme and negative values stay inside
+// the fixed array and are counted exactly once.
+func TestHistogramNoOverflow(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64, math.MaxInt64 - 1} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket total = %d, want 6", total)
+	}
+	if s.Max != math.MaxInt64 {
+		t.Fatalf("max = %d", s.Max)
+	}
+}
+
+// TestMergeCommutative: property test — for random observation sets
+// A and B, Merge(A,B) == Merge(B,A) == histogram of A∪B.
+func TestMergeCommutative(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ha, hb, hu := NewHistogram(), NewHistogram(), NewHistogram()
+		for i := 0; i < 500; i++ {
+			v := rng.Int63n(1 << uint(1+rng.Intn(40)))
+			if rng.Intn(2) == 0 {
+				ha.Observe(v)
+			} else {
+				hb.Observe(v)
+			}
+			hu.Observe(v)
+		}
+		sa, sb, su := ha.Snapshot(), hb.Snapshot(), hu.Snapshot()
+		ab, ba := Merge(sa, sb), Merge(sb, sa)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("seed %d: merge not commutative:\n%+v\n%+v", seed, ab, ba)
+		}
+		if !reflect.DeepEqual(ab, su) {
+			t.Fatalf("seed %d: merge != union histogram:\n%+v\n%+v", seed, ab, su)
+		}
+	}
+}
+
+// TestQuantilesMonotone: property test — quantiles are non-decreasing
+// in q, bounded by max's bucket, and exact for exact-bucket values.
+func TestQuantilesMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		h := NewHistogram()
+		for i := 0; i < 1+rng.Intn(2000); i++ {
+			h.Observe(rng.Int63n(1 << uint(1+rng.Intn(50))))
+		}
+		s := h.Snapshot()
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("seed %d: quantile not monotone at q=%.2f: %d < %d", seed, q, v, prev)
+			}
+			prev = v
+		}
+		if p100 := s.Quantile(1); p100 < s.Max {
+			t.Fatalf("seed %d: p100 %d below max %d", seed, p100, s.Max)
+		}
+	}
+	// Exact small values quantile exactly.
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i % 8))
+	}
+	if got := h.Snapshot().Quantile(0.5); got != 3 {
+		t.Fatalf("p50 of uniform 0..7 = %d, want 3", got)
+	}
+}
+
+// TestRecordAllocs pins the zero-allocation contract of the record
+// path: Counter.Add, Gauge ops and Histogram.Observe.
+func TestRecordAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "t")
+	g := reg.Gauge("t_gauge", "t")
+	h := reg.Histogram("t_hist", "t")
+	var i int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(i)
+		g.Add(-1)
+		h.Observe(i * 1000)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPrometheusExposition checks the hand-rolled text format: family
+// headers emitted once, labeled series grouped, histogram expansion
+// cumulative with +Inf.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_things_total", "Things.").Add(3)
+	reg.Gauge("app_depth", "Depth.").Set(-2)
+	reg.CounterFunc("app_derived_total", "Derived.", func() uint64 { return 42 })
+	reg.Counter(`app_labeled_total{shard="1"}`, "Labeled.").Add(1)
+	reg.Counter(`app_labeled_total{shard="0"}`, "Labeled.").Add(2)
+	h := reg.Histogram("app_lat_ns", "Latency.")
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE app_things_total counter\napp_things_total 3\n",
+		"# TYPE app_depth gauge\napp_depth -2\n",
+		"app_derived_total 42\n",
+		"# TYPE app_labeled_total counter\napp_labeled_total{shard=\"0\"} 2\napp_labeled_total{shard=\"1\"} 1\n",
+		"# TYPE app_lat_ns histogram\n",
+		"app_lat_ns_bucket{le=\"5\"} 2\n",
+		"app_lat_ns_bucket{le=\"+Inf\"} 3\n",
+		"app_lat_ns_sum 110\napp_lat_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE app_labeled_total") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+}
+
+// TestStatusSnapshotAndHealthz drives the bundled mux end to end:
+// /statusz JSON decodes with all series, /healthz flips with checks
+// and drain, /metrics serves, /debug/pprof/ serves.
+func TestStatusSnapshotAndHealthz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x").Add(9)
+	reg.Gauge("x_depth", "x").Set(4)
+	reg.Histogram("x_lat", "x").Observe(77)
+	health := NewHealth()
+	health.Set("spool", true, "recovered")
+	srv := httptest.NewServer(NewMux(reg, health, func() map[string]any {
+		return map[string]any{"sensor": "s1"}
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := get("/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("statusz decode: %v\n%s", err, body)
+	}
+	if snap.Counters["x_total"] != 9 || snap.Gauges["x_depth"] != 4 || snap.Histograms["x_lat"].Count != 1 {
+		t.Fatalf("statusz content: %+v", snap)
+	}
+	if snap.Info["sensor"] != "s1" || snap.TakenUnixUS == 0 {
+		t.Fatalf("statusz identity: %+v", snap)
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz ready = %d, want 200", code)
+	}
+	health.Set("spool", false, "corrupt")
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "corrupt") {
+		t.Fatalf("/healthz failed-check = %d %q, want 503 with detail", code, body)
+	}
+	health.Set("spool", true, "recovered")
+	health.SetDraining(true)
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("/healthz draining = %d %q, want 503 draining", code, body)
+	}
+	health.SetDraining(false)
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatal("/healthz did not recover after drain cleared")
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "x_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestRegistryIdempotent: same-name same-kind returns the shared
+// handle; kind mismatch panics.
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "d")
+	b := reg.Counter("dup_total", "d")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("handles not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("dup_total", "d")
+}

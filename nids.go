@@ -40,6 +40,7 @@ import (
 	"semnids/internal/incident"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
+	"semnids/internal/telemetry"
 )
 
 // Alert is one detection event attributed to a network flow.
@@ -303,7 +304,24 @@ type EngineConfig struct {
 	// PushSeed seeds the pusher's backoff jitter (default 1); fixed
 	// seeds make fault-injection runs deterministic.
 	PushSeed int64
+
+	// Telemetry, when non-nil, is the metrics registry every layer of
+	// this engine registers into (shards, analyzer, correlator, sink,
+	// push transport). Nil creates a private registry — TelemetryStats
+	// and TelemetryHandler work either way; pass one explicitly to
+	// scrape several engines (or an engine plus an aggregator) from a
+	// single exposition endpoint.
+	Telemetry *TelemetryRegistry
 }
+
+// TelemetryRegistry is the process-wide metrics registry: atomic
+// counters and gauges plus fixed-size log-bucketed latency histograms,
+// allocation-free on the record path. See internal/telemetry.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryHealth tracks named readiness checks plus a drain flag,
+// rendered by the /healthz endpoint of TelemetryHandler.
+type TelemetryHealth = telemetry.Health
 
 // Incident is one source's correlated kill-chain activity.
 type Incident = incident.Incident
@@ -387,6 +405,12 @@ type Engine struct {
 	// trace fed through Run/Replay — one pool for the engine's
 	// lifetime, so back-to-back traces reuse warm buffers.
 	pool *netpkt.PacketPool
+
+	// tel is the registry shared by every layer of this engine;
+	// health backs the /healthz readiness checks ("engine" flips
+	// not-ready on Stop, "spool" records the recovery outcome).
+	tel    *telemetry.Registry
+	health *telemetry.Health
 }
 
 // NewEngine validates the configuration and starts a streaming
@@ -395,6 +419,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	ccfg, tpls, err := cfg.Config.pipeline()
 	if err != nil {
 		return nil, err
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
 	}
 	ecfg := engine.Config{
 		Classify:          ccfg,
@@ -406,11 +434,13 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		VerdictCacheSize:  cfg.VerdictCacheSize,
 		FullScan:          cfg.FullScan,
 		OnAlert:           cfg.OnAlert,
+		Telemetry:         tel,
 	}
 	if cfg.ShedOnOverload {
 		ecfg.Overload = engine.PolicyShed
 	}
-	e := &Engine{}
+	e := &Engine{tel: tel, health: telemetry.NewHealth()}
+	e.health.Set("engine", true, "running")
 	if cfg.Correlate {
 		// The notify hook reaches the sink through an atomic holder:
 		// the correlator must exist first (the sink snapshots it and
@@ -422,6 +452,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			WindowUS:        uint64(cfg.IncidentWindow / time.Microsecond),
 			FanoutThreshold: cfg.IncidentFanout,
 			MaxSources:      cfg.MaxIncidentSources,
+			Telemetry:       tel,
 			OnIncident: func(inc Incident) {
 				if userCb != nil {
 					userCb(inc)
@@ -442,7 +473,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e.inner = engine.New(ecfg)
 	e.sensor = e.inner.SensorID()
+	if !cfg.Correlate || cfg.IncidentExportDir == "" {
+		e.health.Set("spool", true, "no export dir")
+	}
 	if cfg.Correlate && cfg.IncidentExportDir != "" {
+		e.health.Set("spool", false, "recovering")
 		if rec, err := fed.Recover(cfg.IncidentExportDir); err != nil {
 			e.shutdownPartial()
 			return nil, fmt.Errorf("nids: incident recovery: %w", err)
@@ -465,12 +500,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			CheckpointEvery: cfg.IncidentCheckpointEvery,
 			KeepSegments:    cfg.IncidentKeepSegments,
 			Export:          e.exportEvidence,
+			Telemetry:       tel,
 		})
 		if err != nil {
 			e.shutdownPartial()
 			return nil, fmt.Errorf("nids: incident sink: %w", err)
 		}
 		e.sink.Store(sink)
+		e.health.Set("spool", true, "recovered")
 		if cfg.PushURL != "" {
 			push, err := transport.NewPusher(transport.PusherConfig{
 				Dir:            cfg.IncidentExportDir,
@@ -481,6 +518,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 				BackoffMin:     cfg.PushBackoffMin,
 				BackoffMax:     cfg.PushBackoffMax,
 				Seed:           cfg.PushSeed,
+				Telemetry:      tel,
 			})
 			if err != nil {
 				e.shutdownPartial()
@@ -613,6 +651,7 @@ func (e *Engine) Flush() { e.Drain() }
 // Idempotent and safe alongside concurrent Alerts/Stats/Incidents
 // reads.
 func (e *Engine) Stop() {
+	e.health.Set("engine", false, "stopped")
 	e.inner.Stop()
 	if e.corr != nil {
 		e.corr.Stop()
@@ -633,6 +672,47 @@ func (e *Engine) Alerts() []Alert { return e.inner.Alerts() }
 
 // Stats returns engine counters and gauges.
 func (e *Engine) Stats() EngineMetrics { return e.inner.Snapshot() }
+
+// Telemetry returns the metrics registry every layer of this engine
+// records into (the one passed in EngineConfig.Telemetry, or the
+// private default).
+func (e *Engine) Telemetry() *TelemetryRegistry { return e.tel }
+
+// Health returns the readiness tracker behind TelemetryHandler's
+// /healthz: the "engine" check flips not-ready on Stop, "spool"
+// records the durable-sink recovery outcome. Callers add their own
+// checks or flip draining during shutdown.
+func (e *Engine) Health() *TelemetryHealth { return e.health }
+
+// TelemetryHandler returns the engine's observability surface —
+// /metrics (Prometheus text), /statusz (JSON snapshot), /healthz,
+// /debug/pprof — ready to mount on an http.Server (semnids -listen
+// serves exactly this).
+func (e *Engine) TelemetryHandler() http.Handler {
+	telemetry.RegisterProcessMetrics(e.tel)
+	return telemetry.NewMux(e.tel, e.health, e.statusInfo)
+}
+
+// StatusSnapshot captures every registered series plus identifying
+// info as one JSON-ready value — the /statusz document, also usable
+// programmatically.
+func (e *Engine) StatusSnapshot() telemetry.StatusSnapshot {
+	return e.tel.StatusSnapshot(e.statusInfo())
+}
+
+// WriteStatus writes the /statusz JSON document (one object, no
+// trailing newline beyond the encoder's) — the encoder behind
+// semnids -stats-interval.
+func (e *Engine) WriteStatus(w io.Writer) error {
+	return telemetry.WriteStatusJSON(w, e.tel, e.statusInfo())
+}
+
+func (e *Engine) statusInfo() map[string]any {
+	return map[string]any{
+		"sensor": e.sensor,
+		"synced": e.PushSynced(),
+	}
+}
 
 // Incidents returns the correlator's current incident set, ordered by
 // stage, severity, then source — deterministic for a given trace
