@@ -42,6 +42,7 @@ import (
 	"semnids/internal/fed"
 	"semnids/internal/fed/transport"
 	"semnids/internal/incident"
+	"semnids/internal/lineage"
 	"semnids/internal/report"
 	"semnids/internal/telemetry"
 )
@@ -120,10 +121,20 @@ func run() int {
 			// report shows packet → stage → acked end to end.
 			agg.AnnotateTimelines(incidents)
 			report.WriteIncidentsJSON(w, incidents)
+			if len(st.Lineage) > 0 {
+				report.WriteAncestryJSON(w, lineage.Trace(st.Lineage))
+			}
 			return
 		}
 		fmt.Fprintf(w, "sensors: %s  sources: %d\n\n", strings.Join(st.Sensors, ","), len(st.Sources))
 		report.WriteIncidents(w, incidents)
+		// Sensors pushing with -lineage federate their observations here;
+		// the ancestry forest below the incident table is byte-identical
+		// to what a solo all-seeing sensor would reconstruct.
+		if len(st.Lineage) > 0 {
+			fmt.Fprintln(w)
+			report.WriteAncestry(w, lineage.Trace(st.Lineage))
+		}
 	})
 	mux.HandleFunc("/export", func(w http.ResponseWriter, r *http.Request) {
 		st := agg.Export()

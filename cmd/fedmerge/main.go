@@ -38,6 +38,7 @@ import (
 
 	"semnids/internal/fed"
 	"semnids/internal/incident"
+	"semnids/internal/lineage"
 	"semnids/internal/report"
 )
 
@@ -99,6 +100,22 @@ func run() int {
 				strings.Join(merged.Sensors, ","), len(merged.Sources))
 			if err := report.WriteIncidents(os.Stdout, incidents); err != nil {
 				return fail(err)
+			}
+		}
+		// Lineage records (sensors run with -lineage) merge like all other
+		// evidence; when present, render the federated ancestry forest —
+		// commutativity means it is the forest a solo sensor would print.
+		if len(merged.Lineage) > 0 {
+			trees := lineage.Trace(merged.Lineage)
+			if *jsonOut {
+				if err := report.WriteAncestryJSON(os.Stdout, trees); err != nil {
+					return fail(err)
+				}
+			} else {
+				fmt.Println()
+				if err := report.WriteAncestry(os.Stdout, trees); err != nil {
+					return fail(err)
+				}
 			}
 		}
 	}

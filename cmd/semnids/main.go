@@ -24,6 +24,14 @@
 // alerts with -json. -stats prints per-shard load gauges (EWMA
 // packets/sec, queue depth) and correlator counters.
 //
+// -lineage (implies -correlate) computes structural fingerprints —
+// the semantic sketch of what a polymorphic engine cannot cheaply
+// randomize — for every hostile payload and traces payload ancestry:
+// reconstructed infection trees print after the incident table (or as
+// JSONL trees with -json). Lineage observations ride evidence exports,
+// so federated sensors reconstruct the same forest an all-seeing solo
+// sensor would.
+//
 // Federation (each of these implies -correlate): -export writes the
 // correlator's evidence state — per-source min-K timestamp sets,
 // fingerprints, derived stage, stamped with -sensor for provenance —
@@ -97,6 +105,7 @@ func run() int {
 		replay     = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
 		speed      = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
 		correlate  = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
+		lineageOn  = flag.Bool("lineage", false, "compute structural fingerprints and trace payload ancestry (implies -correlate)")
 		incWindow  = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
 		sensor     = flag.String("sensor", "", "sensor ID stamped on exported incident evidence (default \"sensor\")")
 		exportPath = flag.String("export", "", "write the correlator's evidence export here at exit (implies -correlate)")
@@ -172,7 +181,7 @@ func run() int {
 		cfg.TemplatesDSL = string(text)
 	}
 
-	if *exportPath != "" || *importPath != "" || *exportDir != "" || *pushURL != "" {
+	if *exportPath != "" || *importPath != "" || *exportDir != "" || *pushURL != "" || *lineageOn {
 		*correlate = true
 	}
 	if *listen != "" || *statsEvery > 0 {
@@ -183,7 +192,8 @@ func run() int {
 			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
 			jsonOut: *jsonOut, summary: *summary, stats: *stats,
 			correlate: *correlate, incidentWindow: *incWindow,
-			sensor: *sensor, exportPath: *exportPath,
+			lineage: *lineageOn,
+			sensor:  *sensor, exportPath: *exportPath,
 			importPath: *importPath, exportDir: *exportDir,
 			exportKeep: *exportKeep,
 			pushURL:    *pushURL, pushWait: *pushWait,
@@ -235,6 +245,7 @@ type engineOpts struct {
 	summary        bool
 	stats          bool
 	correlate      bool
+	lineage        bool
 	incidentWindow time.Duration
 	sensor         string
 	exportPath     string
@@ -257,6 +268,7 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 		Shards:               opts.shards,
 		ShedOnOverload:       opts.shed,
 		Correlate:            opts.correlate,
+		Lineage:              opts.lineage,
 		IncidentWindow:       opts.incidentWindow,
 		SensorID:             opts.sensor,
 		IncidentExportDir:    opts.exportDir,
@@ -341,6 +353,12 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 				return 1
 			}
 		}
+		if opts.lineage {
+			if err := report.WriteAncestryJSON(os.Stdout, e.Ancestry()); err != nil {
+				fmt.Fprintln(os.Stderr, "semnids:", err)
+				return 1
+			}
+		}
 	}
 	if opts.summary {
 		fmt.Println()
@@ -352,6 +370,13 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 	if opts.correlate && !opts.jsonOut {
 		fmt.Println()
 		if err := report.WriteIncidents(os.Stdout, e.Incidents()); err != nil {
+			fmt.Fprintln(os.Stderr, "semnids:", err)
+			return 1
+		}
+	}
+	if opts.lineage && !opts.jsonOut {
+		fmt.Println()
+		if err := report.WriteAncestry(os.Stdout, e.Ancestry()); err != nil {
 			fmt.Fprintln(os.Stderr, "semnids:", err)
 			return 1
 		}

@@ -5,10 +5,17 @@
 // -worm, a propagating outbreak whose victims re-deliver the payload
 // (the kill-chain workload for `semnids -correlate`).
 //
+// With -polymorph, the outbreak re-encodes its worm body through a
+// polymorphic engine (alternating CLET- and ADMmutate-style) at every
+// hop, so no two deliveries share wire bytes — the adversarial
+// workload for `semnids -lineage`, where only structural fingerprints
+// can still tie the hops into one infection tree.
+//
 // Usage:
 //
 //	trafficgen -o trace.pcap -sessions 5000 -codered 4 -seed 7
 //	trafficgen -o worm.pcap -worm 3 -fanout 2 -seed 7
+//	trafficgen -o mutated.pcap -polymorph 3 -fanout 2 -seed 7
 package main
 
 import (
@@ -26,7 +33,8 @@ func main() {
 		sessions = flag.Int("sessions", 1000, "benign background sessions (with -worm: per infection, default 2)")
 		codered  = flag.Int("codered", 0, "Code Red II instances to mix in")
 		worm     = flag.Int("worm", 0, "generate a propagating outbreak with this many generations instead")
-		fanout   = flag.Int("fanout", 2, "victims infected per host (with -worm)")
+		poly     = flag.Int("polymorph", 0, "generate a polymorphic outbreak (per-hop re-encoded payloads) with this many generations instead")
+		fanout   = flag.Int("fanout", 2, "victims infected per host (with -worm/-polymorph)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 	)
 	flag.Parse()
@@ -46,6 +54,36 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *poly > 0 {
+		spec := traffic.PolymorphSpec{
+			Seed:          *seed,
+			Generations:   *poly,
+			FanoutPerHost: *fanout,
+		}
+		if sessionsSet {
+			if *sessions == 0 {
+				spec.BenignSessions = -1
+			} else {
+				spec.BenignSessions = *sessions
+			}
+		}
+		pkts := traffic.PolymorphOutbreak(spec)
+		w, err := netpkt.NewPcapWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+			os.Exit(1)
+		}
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				fmt.Fprintln(os.Stderr, "trafficgen:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d packets (polymorphic outbreak: %d generations, fanout %d) to %s\n",
+			w.Count(), *poly, *fanout, *out)
+		return
+	}
 
 	if *worm > 0 {
 		spec := traffic.WormSpec{

@@ -1,6 +1,10 @@
 package core
 
-import "net/netip"
+import (
+	"net/netip"
+
+	"semnids/internal/sem"
+)
 
 // Fingerprint is a 128-bit payload identity: two independent FNV-1a
 // style hashes plus the length folded in. It is shared by the engine's
@@ -87,6 +91,13 @@ type Event struct {
 
 	// Fingerprint of the frame behind EventAlert/EventFingerprint.
 	Fingerprint Fingerprint
+
+	// Sketch is the frame's structural fingerprint (zero unless the
+	// engine runs with lineage enabled and the frame produced
+	// detections). Where Fingerprint identifies exact bytes, the
+	// sketch identifies what survives polymorphic re-encoding — the
+	// lineage plane's symbol.
+	Sketch sem.Sketch
 
 	// Template and Severity describe an EventAlert's detection.
 	Template string

@@ -38,6 +38,10 @@ type verdictCache struct {
 type cacheEntry struct {
 	key core.Fingerprint
 	ds  []sem.Detection
+	// sk is the frame's structural fingerprint, memoized with the
+	// verdict so lineage-enabled engines pay the sketch emulation once
+	// per distinct payload (zero when lineage is off or ds is empty).
+	sk sem.Sketch
 }
 
 func newVerdictCache(capacity int) *verdictCache {
@@ -49,28 +53,32 @@ func newVerdictCache(capacity int) *verdictCache {
 	}
 }
 
-// get returns the cached detections for a fingerprint. The second
-// result distinguishes "cached as benign" (nil, true) from "unknown".
-func (c *verdictCache) get(key core.Fingerprint) ([]sem.Detection, bool) {
+// get returns the cached detections and sketch for a fingerprint. The
+// last result distinguishes "cached as benign" (nil, zero, true) from
+// "unknown".
+func (c *verdictCache) get(key core.Fingerprint) ([]sem.Detection, sem.Sketch, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.admit.inc(key.A)
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		return nil, sem.Sketch{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ds, true
+	en := el.Value.(*cacheEntry)
+	return en.ds, en.sk, true
 }
 
 // put records the verdict for a fingerprint. A full cache evicts the
 // least recently used entry only when the doorkeeper estimates the
 // newcomer is hotter; otherwise the newcomer is rejected.
-func (c *verdictCache) put(key core.Fingerprint, ds []sem.Detection) {
+func (c *verdictCache) put(key core.Fingerprint, ds []sem.Detection, sk sem.Sketch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).ds = ds
+		en := el.Value.(*cacheEntry)
+		en.ds = ds
+		en.sk = sk
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -83,7 +91,7 @@ func (c *verdictCache) put(key core.Fingerprint, ds []sem.Detection) {
 		c.ll.Remove(victim)
 		delete(c.entries, victim.Value.(*cacheEntry).key)
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ds: ds})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ds: ds, sk: sk})
 }
 
 // len reports the current entry count.

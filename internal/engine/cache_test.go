@@ -25,9 +25,9 @@ func TestCacheAdmissionScanChurn(t *testing.T) {
 
 	// Establish the hot entry and its popularity.
 	c.get(hot)
-	c.put(hot, verdict)
+	c.put(hot, verdict, sem.Sketch{})
 	for i := 0; i < 64; i++ {
-		if _, ok := c.get(hot); !ok {
+		if _, _, ok := c.get(hot); !ok {
 			t.Fatal("hot entry lost while cache not yet full")
 		}
 	}
@@ -37,18 +37,18 @@ func TestCacheAdmissionScanChurn(t *testing.T) {
 	// delivering its (hot) payload in between.
 	for i := 0; i < 100*capacity; i++ {
 		oneShot := core.FingerprintOf([]byte(fmt.Sprintf("scan-%d", i)))
-		if _, ok := c.get(oneShot); ok {
+		if _, _, ok := c.get(oneShot); ok {
 			t.Fatalf("one-shot %d reported cached", i)
 		}
-		c.put(oneShot, nil)
+		c.put(oneShot, nil, sem.Sketch{})
 		if i%8 == 0 {
-			if _, ok := c.get(hot); !ok {
+			if _, _, ok := c.get(hot); !ok {
 				t.Fatalf("scan churned the hot fingerprint out after %d one-shots", i)
 			}
 		}
 	}
 
-	if _, ok := c.get(hot); !ok {
+	if _, _, ok := c.get(hot); !ok {
 		t.Fatal("scan churned the hot fingerprint out of the cache")
 	}
 	if c.rejects() == 0 {
@@ -68,16 +68,16 @@ func TestCacheAdmissionLearnsNewHot(t *testing.T) {
 	for i := 0; i < capacity; i++ {
 		cold := core.FingerprintOf([]byte(fmt.Sprintf("cold-%d", i)))
 		c.get(cold)
-		c.put(cold, nil)
+		c.put(cold, nil, sem.Sketch{})
 	}
 	newcomer := core.FingerprintOf([]byte("rising worm"))
 	admitted := false
 	for i := 0; i < 32 && !admitted; i++ {
-		if _, ok := c.get(newcomer); ok {
+		if _, _, ok := c.get(newcomer); ok {
 			admitted = true
 			break
 		}
-		c.put(newcomer, nil)
+		c.put(newcomer, nil, sem.Sketch{})
 	}
 	if !admitted {
 		t.Fatal("repeatedly seen payload was never admitted")

@@ -116,6 +116,15 @@ type Config struct {
 	// SweepOffsets overrides the analyzer's disassembly offsets.
 	SweepOffsets []int
 
+	// Lineage enables structural-fingerprint computation: frames whose
+	// analysis produced detections are additionally sketched
+	// (template/statement symbols plus the emulator-decoded tail, see
+	// sem.Sketch) and the sketch rides the alert/fingerprint events —
+	// the input to payload lineage tracing. Sketches are memoized in
+	// the verdict cache alongside detections, so the emulation cost is
+	// paid once per distinct hostile payload, never for benign frames.
+	Lineage bool
+
 	// OnAlert, when non-nil, is invoked synchronously for each alert
 	// (from shard goroutines).
 	OnAlert func(core.Alert)
@@ -161,6 +170,11 @@ type Metrics struct {
 	// admission policy refused (one-shot payloads kept from churning
 	// hot entries).
 	CacheRejected uint64
+
+	// Sketches counts structural-fingerprint computations (lineage
+	// mode: detected frames emulated and sketched; cache hits reuse
+	// the memoized sketch and are not counted).
+	Sketches uint64
 
 	// FlowsActive and BufferedBytes are gauges summed over shards;
 	// CacheEntries is the verdict cache's current size.
@@ -218,6 +232,7 @@ type Engine struct {
 		streams, frames, frameBytes, alerts atomic.Uint64
 		cacheHits, cacheMisses              atomic.Uint64
 		evictedIdle, evictedLRU             atomic.Uint64
+		sketches                            atomic.Uint64
 	}
 
 	// tel holds the hot-path telemetry handles. The registry itself
@@ -330,6 +345,9 @@ func (e *Engine) registerTelemetry() {
 	cf("semnids_engine_cache_misses_total", "Verdict-cache misses (analysis ran).", &e.m.cacheMisses)
 	cf(`semnids_engine_flows_evicted_total{reason="idle"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedIdle)
 	cf(`semnids_engine_flows_evicted_total{reason="lru"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedLRU)
+	if e.cfg.Lineage {
+		cf("semnids_lineage_sketches_total", "Structural-fingerprint computations (detected frames sketched).", &e.m.sketches)
+	}
 	if e.cache != nil {
 		reg.CounterFunc("semnids_engine_cache_rejected_total", "Verdict-cache inserts refused by TinyLFU admission.", e.cache.rejects)
 		reg.GaugeFunc("semnids_engine_cache_entries", "Verdict-cache occupancy.", func() int64 { return int64(e.cache.len()) })
@@ -490,6 +508,7 @@ func (e *Engine) Snapshot() Metrics {
 		CacheMisses:      e.m.cacheMisses.Load(),
 		FlowsEvictedIdle: e.m.evictedIdle.Load(),
 		FlowsEvictedLRU:  e.m.evictedLRU.Load(),
+		Sketches:         e.m.sketches.Load(),
 	}
 	m.Shards = make([]ShardMetrics, len(e.shards))
 	for i, s := range e.shards {

@@ -303,21 +303,24 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 	// analyzer uses its pooled scratch cache instead of allocating a
 	// fresh decode cache per frame.
 	var ds []sem.Detection
+	var sk sem.Sketch
 	if e.cache != nil {
-		if cached, ok := e.cache.get(fp); ok {
+		if cached, csk, ok := e.cache.get(fp); ok {
 			e.m.cacheHits.Add(1)
-			ds = cached
+			ds, sk = cached, csk
 		} else {
 			e.m.cacheMisses.Add(1)
 			t0 := time.Now()
 			ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
 			e.tel.frameNS.Observe(time.Since(t0).Nanoseconds())
-			e.cache.put(fp, ds)
+			sk = s.sketch(f.Data, ds)
+			e.cache.put(fp, ds, sk)
 		}
 	} else {
 		t0 := time.Now()
 		ds = e.analyzer.AnalyzeFrameCached(f.Data, f.Code)
 		e.tel.frameNS.Observe(time.Since(t0).Nanoseconds())
+		sk = s.sketch(f.Data, ds)
 	}
 	if tap != nil {
 		tap(core.Event{
@@ -325,16 +328,30 @@ func (s *shard) analyzeFrame(f extract.Frame, flow netpkt.FlowKey, reason classi
 			Src: flow.SrcIP, Dst: flow.DstIP,
 			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
 			Fingerprint: fp,
+			Sketch:      sk,
 		})
 	}
 	for _, d := range ds {
-		s.emit(f, flow, reason, ts, fp, d)
+		s.emit(f, flow, reason, ts, fp, sk, d)
 	}
+}
+
+// sketch computes the frame's structural fingerprint when lineage is
+// enabled and the frame produced detections; otherwise it returns the
+// zero sketch at the cost of one branch. Benign frames are never
+// emulated, and callers memoize the result in the verdict cache.
+func (s *shard) sketch(frame []byte, ds []sem.Detection) sem.Sketch {
+	e := s.eng
+	if !e.cfg.Lineage || len(ds) == 0 {
+		return sem.Sketch{}
+	}
+	e.m.sketches.Add(1)
+	return e.analyzer.Sketch(frame, ds)
 }
 
 // emit records one detection, deduplicated per (flow, template). The
 // dedup map is shard-local: a flow is always handled by one shard.
-func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64, fp core.Fingerprint, d sem.Detection) {
+func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reason, ts uint64, fp core.Fingerprint, sk sem.Sketch, d sem.Detection) {
 	key := alertKey{flow: flow, template: d.Template}
 	if s.seen[key] {
 		return
@@ -361,6 +378,7 @@ func (s *shard) emit(f extract.Frame, flow netpkt.FlowKey, reason classify.Reaso
 			Src: flow.SrcIP, Dst: flow.DstIP,
 			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
 			Fingerprint: fp,
+			Sketch:      sk,
 			Template:    d.Template,
 			Severity:    d.Severity,
 		})

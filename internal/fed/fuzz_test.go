@@ -23,6 +23,12 @@ func FuzzDecodeEvidence(f *testing.F) {
 		// Truncations of a valid segment.
 		f.Add(data[:len(data)/2])
 		f.Add(data[:len(data)-1])
+		// The same export with lineage records: lin framing, its count
+		// marks, and truncations landing mid-lin.
+		withLin := encode(f, synthLineage(ex, "sensor-a", seed.seed, 20))
+		f.Add(withLin)
+		f.Add(withLin[:len(withLin)/2])
+		f.Add(withLin[:len(withLin)-1])
 	}
 	// Corrupt length prefixes and version skew.
 	f.Add([]byte("9999999 {}\n"))

@@ -1,0 +1,183 @@
+package fed
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"semnids/internal/core"
+	"semnids/internal/incident"
+	"semnids/internal/lineage"
+)
+
+// synthLineage attaches a deterministic canonical lineage set to an
+// export, as a sensor running with lineage enabled would.
+func synthLineage(ex *incident.EvidenceExport, sensor string, seed int64, n int) *incident.EvidenceExport {
+	rng := rand.New(rand.NewSource(seed))
+	tails := []core.Fingerprint{
+		core.FingerprintOf([]byte("worm-a")),
+		core.FingerprintOf([]byte("worm-b")),
+	}
+	var obs []lineage.Observation
+	for i := 0; i < n; i++ {
+		id := rng.Intn(n)
+		obs = append(obs, lineage.Observation{
+			Exact:       core.FingerprintOf([]byte(fmt.Sprintf("%s-variant-%d", sensor, id))),
+			Tail:        tails[id%len(tails)],
+			TemplateSym: uint64(id%4) + 1,
+			StmtsSym:    uint64(id%6) + 1,
+			FirstUS:     uint64(1000 + rng.Intn(100000)),
+			Src:         netip.AddrFrom4([4]byte{10, 0, byte(rng.Intn(3)), byte(rng.Intn(9) + 1)}),
+			Dst:         netip.AddrFrom4([4]byte{172, 16, 0, byte(rng.Intn(9) + 1)}),
+			Sensors:     []string{sensor},
+		})
+	}
+	ex.Lineage = lineage.Merge(obs, nil) // canonical form
+	return ex
+}
+
+// TestWireLineageRoundTrip checks lin records survive encode → decode
+// losslessly and the encoding stays canonical.
+func TestWireLineageRoundTrip(t *testing.T) {
+	ex := synthLineage(synthExport(t, "sensor-a", 1, 300), "sensor-a", 11, 40)
+	if len(ex.Lineage) == 0 {
+		t.Fatal("synthetic lineage is empty")
+	}
+	data := encode(t, ex)
+	got, err := ReadExport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Lineage, ex.Lineage) {
+		t.Fatalf("lineage round trip diverged:\n got: %+v\nwant: %+v", got.Lineage, ex.Lineage)
+	}
+	if again := encode(t, got); !bytes.Equal(again, data) {
+		t.Fatal("re-encoding a decoded lineage export changed the bytes")
+	}
+}
+
+// TestWireLineageOffByteIdentical pins the compatibility contract: an
+// export with no lineage records encodes to bytes containing no trace
+// of the lin extension — a sensor running without -lineage emits
+// exactly what it emitted before the format learned about lineage.
+func TestWireLineageOffByteIdentical(t *testing.T) {
+	data := encode(t, synthExport(t, "sensor-a", 3, 300))
+	if bytes.Contains(data, []byte(`"lin"`)) || bytes.Contains(data, []byte(`"lin":`)) {
+		t.Fatal("lineage-free export mentions the lin extension on the wire")
+	}
+}
+
+// TestWireLineageTruncationFallsBack truncates inside the lin records
+// of a second checkpoint at every byte offset: the reader must either
+// recover the first committed checkpoint (with its lineage) or fail
+// cleanly — never return the half-written second state.
+func TestWireLineageTruncationFallsBack(t *testing.T) {
+	first := synthLineage(synthExport(t, "sensor-a", 4, 30), "sensor-a", 21, 8)
+	second := synthLineage(synthExport(t, "sensor-a", 4, 30), "sensor-a", 22, 16)
+
+	var buf bytes.Buffer
+	if err := WriteExport(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	committed := buf.Len()
+	wantLineage := first.Lineage
+	if err := WriteExport(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for cut := committed; cut < len(data); cut++ {
+		got, err := ReadExport(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: committed first checkpoint not recovered: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got.Lineage, wantLineage) {
+			t.Fatalf("cut %d: recovered lineage is not the committed checkpoint's", cut)
+		}
+	}
+	// The complete stream recovers the second checkpoint.
+	got, err := ReadExport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Lineage, second.Lineage) {
+		t.Fatal("complete stream did not recover the newest checkpoint's lineage")
+	}
+}
+
+// TestWireLineageCountMismatchRejected checks the end-mark validation:
+// a checkpoint whose end mark declares a different lin count than was
+// streamed must not commit.
+func TestWireLineageCountMismatchRejected(t *testing.T) {
+	ex := synthLineage(synthExport(t, "sensor-a", 5, 100), "sensor-a", 31, 5)
+	data := string(encode(t, ex))
+	n := len(ex.Lineage)
+	if n == 0 || n > 9 {
+		t.Fatalf("want 1-9 lineage records for a same-width digit swap, got %d", n)
+	}
+	// The open and end marks both carry the lin count; corrupt only the
+	// last occurrence (the end mark). Record framing carries a length
+	// prefix, so the swap must preserve byte length: one digit for one.
+	mark := fmt.Sprintf(`"lin":%d`, n)
+	swap := fmt.Sprintf(`"lin":%d`, (n+1)%10)
+	i := strings.LastIndex(data, mark)
+	if i < 0 {
+		t.Fatal("no lin count found in encoded export")
+	}
+	corrupt := data[:i] + swap + data[i+len(mark):]
+	if _, err := ReadExport(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("checkpoint with mismatched lin count committed")
+	}
+}
+
+// TestMergeExportsLineage extends the merge property suite to lineage:
+// commutative, idempotent and associative on canonical wire bytes, with
+// the merged lineage equal to the lineage-level Merge.
+func TestMergeExportsLineage(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		a := synthLineage(synthExport(t, "sensor-a", seed, 200), "sensor-a", seed+40, 25)
+		b := synthLineage(synthExport(t, "sensor-b", seed+100, 200), "sensor-b", seed+50, 25)
+		c := synthLineage(synthExport(t, "sensor-c", seed+200, 200), "sensor-c", seed+60, 25)
+
+		ab, err := Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := Merge(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encode(t, ab), encode(t, ba)) {
+			t.Fatalf("seed %d: lineage merge not commutative", seed)
+		}
+		aa, err := Merge(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encode(t, aa), encode(t, a)) {
+			t.Fatalf("seed %d: lineage merge not idempotent", seed)
+		}
+		abc1, err := Merge(ab, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := Merge(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc2, err := Merge(a, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encode(t, abc1), encode(t, abc2)) {
+			t.Fatalf("seed %d: lineage merge not associative", seed)
+		}
+		if !reflect.DeepEqual(ab.Lineage, lineage.Merge(a.Lineage, b.Lineage)) {
+			t.Fatalf("seed %d: export merge diverged from lineage.Merge", seed)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"semnids/internal/incident"
+	"semnids/internal/lineage"
 )
 
 const (
@@ -52,6 +53,7 @@ const (
 	kindCheckpoint = "ckpt"
 	kindSource     = "src"
 	kindClassifier = "cls"
+	kindLineage    = "lin"
 	kindCommit     = "end"
 )
 
@@ -76,6 +78,7 @@ type checkpointMark struct {
 	Seq     uint64   `json:"seq"`
 	Count   int      `json:"count"`
 	Cls     int      `json:"cls,omitempty"`
+	Lin     int      `json:"lin,omitempty"`
 	Sensors []string `json:"sensors,omitempty"`
 }
 
@@ -86,6 +89,7 @@ type wireRecord struct {
 	Ckpt *checkpointMark              `json:"ckpt,omitempty"`
 	Src  *incident.SourceEvidence     `json:"src,omitempty"`
 	Cls  *incident.ClassifierEvidence `json:"cls,omitempty"`
+	Lin  *lineage.Observation         `json:"lin,omitempty"`
 	End  *checkpointMark              `json:"end,omitempty"`
 }
 
@@ -172,9 +176,13 @@ func headerFor(ex *incident.EvidenceExport) *header {
 
 // writeCheckpoint appends one committed evidence snapshot. The commit
 // mark echoes the opening mark's counts but not the sensors — the
-// decoder validates the group on seq and counts alone.
+// decoder validates the group on seq and counts alone. Lineage ("lin")
+// records are a minor-format addition within Version 1: the opening
+// mark declares their count and older decoders skip unknown kinds, so
+// segments with lineage remain readable by pre-lineage builds (which
+// simply drop the ancestry plane).
 func writeCheckpoint(w *bufio.Writer, seq uint64, ex *incident.EvidenceExport) error {
-	open := &checkpointMark{Seq: seq, Count: len(ex.Sources), Cls: len(ex.Classifier), Sensors: ex.Sensors}
+	open := &checkpointMark{Seq: seq, Count: len(ex.Sources), Cls: len(ex.Classifier), Lin: len(ex.Lineage), Sensors: ex.Sensors}
 	if err := writeRecord(w, &wireRecord{Kind: kindCheckpoint, Ckpt: open}); err != nil {
 		return err
 	}
@@ -188,7 +196,12 @@ func writeCheckpoint(w *bufio.Writer, seq uint64, ex *incident.EvidenceExport) e
 			return err
 		}
 	}
-	end := &checkpointMark{Seq: seq, Count: open.Count, Cls: open.Cls}
+	for i := range ex.Lineage {
+		if err := writeRecord(w, &wireRecord{Kind: kindLineage, Lin: &ex.Lineage[i]}); err != nil {
+			return err
+		}
+	}
+	end := &checkpointMark{Seq: seq, Count: open.Count, Cls: open.Cls, Lin: open.Lin}
 	return writeRecord(w, &wireRecord{Kind: kindCommit, End: end})
 }
 
@@ -248,12 +261,17 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 	}
 	var committed []incident.SourceEvidence
 	var committedCls []incident.ClassifierEvidence
+	var committedLin []lineage.Observation
 	committedSensors := hdr.Sensors
 	haveCommit := false
 
 	var pending []incident.SourceEvidence
 	var pendingCls []incident.ClassifierEvidence
+	var pendingLin []lineage.Observation
 	var open *checkpointMark
+	drop := func() {
+		open, pending, pendingCls, pendingLin = nil, nil, nil, nil
+	}
 	for {
 		rec, err := readRecord(br)
 		if err != nil {
@@ -264,38 +282,47 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 		}
 		switch rec.Kind {
 		case kindCheckpoint:
-			if rec.Ckpt == nil || rec.Ckpt.Count < 0 || rec.Ckpt.Cls < 0 {
-				open, pending, pendingCls = nil, nil, nil
+			if rec.Ckpt == nil || rec.Ckpt.Count < 0 || rec.Ckpt.Cls < 0 || rec.Ckpt.Lin < 0 {
+				drop()
 				continue
 			}
 			open = rec.Ckpt
 			pending = pending[:0]
 			pendingCls = pendingCls[:0]
+			pendingLin = pendingLin[:0]
 		case kindSource:
 			if open == nil || rec.Src == nil || len(pending) >= open.Count {
-				open, pending, pendingCls = nil, nil, nil
+				drop()
 				continue
 			}
 			pending = append(pending, *rec.Src)
 		case kindClassifier:
 			if open == nil || rec.Cls == nil || len(pendingCls) >= open.Cls {
-				open, pending, pendingCls = nil, nil, nil
+				drop()
 				continue
 			}
 			pendingCls = append(pendingCls, *rec.Cls)
+		case kindLineage:
+			if open == nil || rec.Lin == nil || len(pendingLin) >= open.Lin {
+				drop()
+				continue
+			}
+			pendingLin = append(pendingLin, *rec.Lin)
 		case kindCommit:
 			if open == nil || rec.End == nil || rec.End.Seq != open.Seq || rec.End.Count != open.Count ||
-				rec.End.Cls != open.Cls || len(pending) != open.Count || len(pendingCls) != open.Cls {
-				open, pending, pendingCls = nil, nil, nil
+				rec.End.Cls != open.Cls || rec.End.Lin != open.Lin ||
+				len(pending) != open.Count || len(pendingCls) != open.Cls || len(pendingLin) != open.Lin {
+				drop()
 				continue
 			}
 			committed = append(committed[:0], pending...)
 			committedCls = append(committedCls[:0], pendingCls...)
+			committedLin = append(committedLin[:0], pendingLin...)
 			if open.Sensors != nil {
 				committedSensors = open.Sensors
 			}
 			haveCommit = true
-			open, pending, pendingCls = nil, nil, nil
+			drop()
 		default:
 			// Unknown minor-format record: skip (framing still holds).
 		}
@@ -306,6 +333,7 @@ func ReadExport(r io.Reader) (*incident.EvidenceExport, error) {
 	ex.Sensors = committedSensors
 	ex.Sources = committed
 	ex.Classifier = committedCls
+	ex.Lineage = committedLin
 	return ex, nil
 }
 

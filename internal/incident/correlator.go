@@ -364,6 +364,24 @@ func (c *Correlator) apply(ev core.Event) {
 			// No notify for the victim: being targeted does not change
 			// its own derived stage.
 		}
+		// Structural identity rides the same machinery: when lineage is
+		// on, the sketch's decoded-tail fingerprint shares the 128-bit
+		// keyspace with exact fingerprints, so folding it into the same
+		// victim-side sets makes a victim that re-emits a *re-encoded*
+		// descendant of the attack payload close the propagation link —
+		// the polymorphism-proof PROPAGATION the exact match cannot see.
+		// With lineage off the sketch is zero and nothing here runs.
+		if tfp := tailFP(ev); !tfp.IsZero() && tfp != ev.Fingerprint {
+			v := c.source(ev.Dst, ev.TimestampUS)
+			refs, present := v.targetedBy[tfp]
+			refs = addAttackerRef(refs, ev.Src, ev.TimestampUS, maxAttackersPerFingerprint)
+			if present || len(v.targetedBy) < c.cfg.MaxFingerprints {
+				v.targetedBy[tfp] = refs
+			}
+			if sp, ok := v.emitted.get(tfp); ok && sp.last > ev.TimestampUS {
+				c.escalate(ev.Src, ev.Dst, echoTime(sp, ev.TimestampUS))
+			}
+		}
 		c.notify(s)
 
 	case core.EventFingerprint:
@@ -385,6 +403,20 @@ func (c *Correlator) apply(ev core.Event) {
 				}
 			}
 		}
+		// And the structural identity (see the alert-side fold): an
+		// emission of any variant decoding to the same tail counts as
+		// an emission of the family, closing links the exact
+		// fingerprint misses after re-encoding.
+		if tfp := tailFP(ev); !tfp.IsZero() && tfp != ev.Fingerprint {
+			s.emitted.put(tfp, ev.TimestampUS, c.cfg.MaxFingerprints)
+			if sp, ok := s.emitted.get(tfp); ok {
+				for _, ref := range s.targetedBy[tfp] {
+					if sp.last > ref.tsUS {
+						c.escalate(ref.attacker, ev.Src, echoTime(sp, ref.tsUS))
+					}
+				}
+			}
+		}
 
 	case core.EventFlowEvict:
 		// Bookkeeping only: eviction timing depends on shard count and
@@ -396,6 +428,16 @@ func (c *Correlator) apply(ev core.Event) {
 	}
 
 	c.maybeSweep()
+}
+
+// tailFP lifts an event's structural sketch into the fingerprint
+// keyspace: the decoded-tail identity shared by every re-encoding of
+// one payload (zero when lineage is off or the frame decoded nothing).
+func tailFP(ev core.Event) core.Fingerprint {
+	if !ev.Sketch.HasTail() {
+		return core.Fingerprint{}
+	}
+	return core.Fingerprint{A: ev.Sketch.TailA, B: ev.Sketch.TailB, N: ev.Sketch.TailN}
 }
 
 // echoTime is the canonical propagation instant for a victim whose

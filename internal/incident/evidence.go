@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"semnids/internal/core"
+	"semnids/internal/lineage"
 	"semnids/internal/telemetry"
 )
 
@@ -154,6 +155,14 @@ type EvidenceExport struct {
 	Limits          EvidenceLimits
 	Sources         []SourceEvidence
 	Classifier      []ClassifierEvidence
+
+	// Lineage is the sensor's structural-payload observation set (the
+	// lineage store's canonical export): one record per distinct
+	// hostile payload with its decoded-tail family identity and first
+	// witnessed delivery — the input to ancestry tracing. Empty unless
+	// the sensor runs with lineage enabled. Merged with the same
+	// commutative/idempotent discipline as every other evidence set.
+	Lineage []lineage.Observation
 }
 
 // MergeClassifierEvidence unions two classifier evidence sets:
@@ -552,6 +561,7 @@ func MergeExports(a, b *EvidenceExport) (*EvidenceExport, error) {
 	merged := c.exportMerged()
 	merged.Sensors = unionSensors(a.Sensors, b.Sensors)
 	merged.Classifier = MergeClassifierEvidence(a.Classifier, b.Classifier)
+	merged.Lineage = lineage.Merge(a.Lineage, b.Lineage)
 	return merged, nil
 }
 

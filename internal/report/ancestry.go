@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"semnids/internal/lineage"
+)
+
+// WriteAncestry renders reconstructed infection trees for operators:
+// one block per tree, headed by the payload family's decoded-tail
+// fingerprint, with the host tree indented two spaces per generation.
+// The forest is already deterministic (lineage.Trace), so the text is
+// byte-stable across shard counts and federation order.
+func WriteAncestry(w io.Writer, trees []lineage.Tree) error {
+	if len(trees) == 0 {
+		_, err := fmt.Fprintln(w, "no ancestry")
+		return err
+	}
+	for _, t := range trees {
+		if _, err := fmt.Fprintf(w, "family tail=%016x%016x hosts=%d depth=%d\n",
+			t.Tail.A, t.Tail.B, t.Nodes, t.MaxDepth); err != nil {
+			return err
+		}
+		if err := writeAncestryNode(w, t.Root, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAncestryNode(w io.Writer, n lineage.TreeNode, depth int) error {
+	indent := make([]byte, 2*depth)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	if n.Confidence == 0 {
+		// Root: patient zero, witnessed only as an emitter.
+		if _, err := fmt.Fprintf(w, "%s%s t=%dus (patient zero)\n",
+			indent, n.Host, n.InfectedAtUS); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "%s%s t=%dus conf=%.2f via=%016x%016x\n",
+			indent, n.Host, n.InfectedAtUS, n.Confidence, n.Via.A, n.Via.B); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := writeAncestryNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAncestryJSON emits one JSON object per infection tree (JSONL),
+// mirroring WriteIncidentsJSON. The lineage types carry their own JSON
+// tags, so the wire shape is the tracer's canonical one.
+func WriteAncestryJSON(w io.Writer, trees []lineage.Tree) error {
+	enc := json.NewEncoder(w)
+	for _, t := range trees {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"semnids/internal/fed"
 	"semnids/internal/fed/transport"
 	"semnids/internal/incident"
+	"semnids/internal/lineage"
 	"semnids/internal/netpkt"
 	"semnids/internal/sem"
 	"semnids/internal/telemetry"
@@ -233,6 +234,20 @@ type EngineConfig struct {
 	// and SubscribeIncidents.
 	Correlate bool
 
+	// Lineage enables payload lineage tracing (requires Correlate):
+	// detected frames are structurally fingerprinted (matched-template
+	// identity, decode-chain statement multiset, emulator-decoded
+	// tail), the correlator accepts structural matches for PROPAGATION
+	// — so a polymorphic worm that re-encodes itself at every hop
+	// still closes the kill chain — and a lineage store accumulates
+	// per-payload observations from which Ancestry reconstructs
+	// infection trees. Lineage observations federate in evidence
+	// exports ("lin" wire records) with the same commutative,
+	// idempotent merge as all other evidence. Off by default: with
+	// Lineage false, events carry no sketch and every detection,
+	// report and export is byte-identical to previous builds.
+	Lineage bool
+
 	// IncidentWindow is the sliding trace-time window for the
 	// correlator's destination fan-out (default 30s).
 	IncidentWindow time.Duration
@@ -361,6 +376,23 @@ type SinkMetrics struct {
 // gauges. See transport.PushMetrics.
 type PushMetrics = transport.PushMetrics
 
+// LineageObservation is one distinct hostile payload's lineage record:
+// exact wire identity, structural family identity (decoded tail), and
+// first witnessed delivery.
+type LineageObservation = lineage.Observation
+
+// AncestryTree is one reconstructed infection tree within a payload
+// family.
+type AncestryTree = lineage.Tree
+
+// AncestryNode is one host in an ancestry tree.
+type AncestryNode = lineage.TreeNode
+
+// TraceAncestry reconstructs ancestry trees from an evidence export's
+// lineage observations — a pure function, so a merged export renders
+// the same forest on every aggregator. Empty without lineage records.
+func TraceAncestry(ex *EvidenceExport) []AncestryTree { return lineage.Trace(ex.Lineage) }
+
 // MergeEvidence federates two evidence exports: commutative,
 // idempotent, provenance-preserving. See fed.Merge.
 func MergeEvidence(a, b *EvidenceExport) (*EvidenceExport, error) { return fed.Merge(a, b) }
@@ -388,6 +420,13 @@ func DeriveIncidents(ex *EvidenceExport) ([]Incident, error) { return incident.D
 type Engine struct {
 	inner *engine.Engine
 	corr  *incident.Correlator
+
+	// lin accumulates structural-payload observations when Lineage is
+	// enabled (nil otherwise); linDepth/linLinks are its tracer
+	// telemetry, recorded each time an ancestry forest is derived.
+	lin      *lineage.Store
+	linDepth *telemetry.Histogram
+	linLinks atomic.Uint64
 
 	// sink persists correlator evidence when IncidentExportDir is
 	// configured. Set once late in NewEngine and read from the
@@ -466,6 +505,27 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	if cfg.SensorID != "" {
 		ecfg.SensorID = cfg.SensorID
+	}
+	if cfg.Lineage {
+		if !cfg.Correlate {
+			e.shutdownPartial()
+			return nil, fmt.Errorf("nids: Lineage requires Correlate (lineage observations ride the correlator's event feed and evidence exports)")
+		}
+		sensor := cfg.SensorID
+		if sensor == "" {
+			sensor = "sensor"
+		}
+		ecfg.Lineage = true
+		e.lin = lineage.NewStore(lineage.StoreConfig{Sensor: sensor, Telemetry: tel})
+		e.linDepth = tel.Histogram("semnids_lineage_ancestry_depth",
+			"Maximum depth of each reconstructed ancestry tree (root = 0).")
+		tel.CounterFunc("semnids_lineage_links_total",
+			"Parent→child infection links derived across all ancestry computations.", e.linLinks.Load)
+		corrPublish := ecfg.OnEvent
+		ecfg.OnEvent = func(ev core.Event) {
+			e.lin.Observe(ev)
+			corrPublish(ev)
+		}
 	}
 	if cfg.PushURL != "" && (!cfg.Correlate || cfg.IncidentExportDir == "") {
 		e.shutdownPartial()
@@ -736,6 +796,26 @@ func (e *Engine) SubscribeIncidents(buf int) (<-chan Incident, func()) {
 	return e.corr.Subscribe(buf)
 }
 
+// Ancestry reconstructs the current infection forest from this
+// engine's lineage observations (local plus imported): one tree per
+// (payload family, patient zero), parent→child edges scored by
+// structural corroboration. Deterministic for a given trace whatever
+// the shard count or federation order. Nil without Lineage. Each call
+// records tracer telemetry (links derived, ancestry-depth histogram).
+func (e *Engine) Ancestry() []AncestryTree {
+	if e.lin == nil {
+		return nil
+	}
+	trees := lineage.Trace(e.lin.Export())
+	var links uint64
+	for _, t := range trees {
+		e.linDepth.Observe(int64(t.MaxDepth))
+		links += uint64(t.Edges())
+	}
+	e.linLinks.Add(links)
+	return trees
+}
+
 // IncidentStats returns correlator counters and gauges (zero value
 // without Correlate).
 func (e *Engine) IncidentStats() IncidentMetrics {
@@ -757,6 +837,9 @@ func (e *Engine) exportEvidence() *EvidenceExport {
 			SuspiciousUntilUS: st.SuspiciousUntilUS,
 			Dark:              st.Dark,
 		})
+	}
+	if e.lin != nil {
+		ex.Lineage = e.lin.Export()
 	}
 	return ex
 }
@@ -797,6 +880,9 @@ func (e *Engine) ImportIncidents(r io.Reader) error {
 func (e *Engine) importEvidence(ex *EvidenceExport) error {
 	if err := e.corr.Import(ex); err != nil {
 		return err
+	}
+	if e.lin != nil && len(ex.Lineage) > 0 {
+		e.lin.Import(ex.Lineage)
 	}
 	cl := e.inner.Classifier()
 	for i := range ex.Sources {
