@@ -8,9 +8,19 @@
 // checkpoint is recovered and resumed sensors simply re-push anything
 // unacked (the idempotent merge makes the overlap harmless).
 //
+// With -upstream, the daemon is a mid-tier node in a fan-in tree: its
+// own sink directory doubles as the push spool and folded segments are
+// streamed to the listed upstream aggregators in failover order (the
+// fold is associative, so any tree shape converges to the same root
+// state). -node names this aggregator for the X-Fed-Via loop guard;
+// -max-hops bounds tree depth. Pushes announcing a cycle or an
+// over-budget hop count are refused with 409.
+//
 // Usage:
 //
 //	fedagg -listen :9444 -dir /var/lib/fedagg
+//	fedagg -listen :9445 -dir /var/lib/mid1 -node mid1 \
+//	       -upstream http://root:9444/push,http://root-b:9444/push
 //
 // Endpoints:
 //
@@ -51,6 +61,18 @@ func main() {
 	os.Exit(run())
 }
 
+// splitList splits a comma-separated flag value, dropping empty
+// elements so "a,,b" and "" behave as expected.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func run() int {
 	var (
 		listen       = flag.String("listen", ":9444", "HTTP listen address")
@@ -61,11 +83,20 @@ func run() int {
 		keepSegments = flag.Int("keep-segments", 0, "sink segments to retain (0 = default)")
 		asyncAck     = flag.Bool("async-ack", false, "acknowledge pushes before the fold is durably committed (lower latency, crash may lose acked evidence)")
 		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "on shutdown signal, serve 503 on /healthz this long before closing the listener")
+		node         = flag.String("node", "", "aggregator node ID stamped on responses and push Via headers (default \"agg\"; must be unique per tree node)")
+		maxHops      = flag.Int("max-hops", 0, "reject pushes whose hop count exceeds this tree-depth budget (0 = default 16)")
+		upstream     = flag.String("upstream", "", "push folded segments up the tree to these comma-separated aggregator URLs in failover order (makes this node a mid-tier fan-in)")
+		pushCompress = flag.String("push-compress", "auto", "upstream push body compression: auto, on, or off (with -upstream)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "fedagg: -dir is required")
 		flag.Usage()
+		return 2
+	}
+	comp, err := transport.ParseCompression(*pushCompress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedagg:", err)
 		return 2
 	}
 
@@ -76,6 +107,10 @@ func run() int {
 		RotateEvery:  *rotateEvery,
 		KeepSegments: *keepSegments,
 		AsyncAck:     *asyncAck,
+		NodeID:       *node,
+		MaxHops:      *maxHops,
+		Upstreams:    splitList(*upstream),
+		Compression:  comp,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedagg:", err)
@@ -99,6 +134,14 @@ func run() int {
 		if st != nil {
 			info["sensors"] = st.Sensors
 			info["sources"] = len(st.Sources)
+		}
+		// Tree nodes expose their upstream health: which URL the pusher
+		// is on, how deep the unacked spool is, and whether everything
+		// durable has been acked up the tree.
+		if pm, ok := agg.PushStats(); ok {
+			info["upstream"] = pm.ActiveUpstream
+			info["upstream_failovers"] = pm.Failovers
+			info["spool_segments"] = pm.Spooled
 		}
 		return info
 	}

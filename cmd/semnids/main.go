@@ -40,10 +40,15 @@
 // rotated evidence segments, crash recovery on restart). Fold several
 // sensors' exports into one report with cmd/fedmerge.
 //
-// -push streams committed evidence segments to a federation
-// aggregator (cmd/fedagg) with retry/backoff; the sink directory
+// -push streams committed evidence segments to federation
+// aggregators (cmd/fedagg) with retry/backoff; the sink directory
 // (-export-dir, required) is the spool, so an unreachable aggregator
-// costs lag, never ingest. -export-keep bounds the spool (segments
+// costs lag, never ingest. Several comma-separated URLs form a
+// failover list: pushes go to the first, demote to the next on
+// sustained failure, and promote back when a probe finds an earlier
+// one healthy. -push-compress selects the body encoding (auto/on/off;
+// auto compresses once the aggregator advertises support, so old
+// aggregators keep working). -export-keep bounds the spool (segments
 // pruned past it before ack are counted as dropped — lag, not loss,
 // since checkpoints are full snapshots). -push-wait bounds a
 // best-effort wait at exit for the aggregator to ack the spool;
@@ -87,38 +92,39 @@ func main() {
 // before the process exits whatever path the run takes.
 func run() int {
 	var (
-		pcapPath   = flag.String("pcap", "", "pcap trace to analyze")
-		scanPath   = flag.String("scan", "", "binary file to host-scan instead of a trace")
-		honeypots  = flag.String("honeypot", "192.168.1.250", "comma-separated decoy addresses")
-		dark       = flag.String("dark", "192.168.2.0/24", "comma-separated un-used CIDR prefixes")
-		threshold  = flag.Int("t", 3, "dark-space scan threshold")
-		all        = flag.Bool("all", false, "disable classification: analyze every payload")
-		fullscan   = flag.Bool("fullscan", false, "disable extraction pruning too (exhaustive baseline)")
-		workers    = flag.Int("workers", 0, "analysis workers (0 = NumCPU)")
-		quiet      = flag.Bool("q", false, "suppress per-alert output")
-		jsonOut    = flag.Bool("json", false, "emit alerts as JSONL instead of text")
-		summary    = flag.Bool("summary", false, "print a per-source incident summary at exit")
-		tplFile    = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
-		stream     = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
-		shards     = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
-		shed       = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
-		replay     = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
-		speed      = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
-		correlate  = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
-		lineageOn  = flag.Bool("lineage", false, "compute structural fingerprints and trace payload ancestry (implies -correlate)")
-		incWindow  = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
-		sensor     = flag.String("sensor", "", "sensor ID stamped on exported incident evidence (default \"sensor\")")
-		exportPath = flag.String("export", "", "write the correlator's evidence export here at exit (implies -correlate)")
-		importPath = flag.String("import-incidents", "", "seed the correlator from an evidence export before the run (implies -correlate)")
-		exportDir  = flag.String("export-dir", "", "durable incident sink: rotated evidence segments + crash recovery (implies -correlate)")
-		exportKeep = flag.Int("export-keep", 0, "retained evidence segments in -export-dir — the push spool bound (0 = default 4, floor 2)")
-		pushURL    = flag.String("push", "", "stream evidence segments to a federation aggregator at this URL, e.g. http://agg:9444/push (requires -export-dir)")
-		pushWait   = flag.Duration("push-wait", 0, "after the trace, wait up to this long for the aggregator to ack the spool (with -push)")
-		stats      = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
-		listen     = flag.String("listen", "", "serve /metrics, /statusz, /healthz and /debug/pprof on this address while the run lasts (implies -stream)")
-		statsEvery = flag.Duration("stats-interval", 0, "emit a JSON-lines /statusz snapshot to stderr at this interval (implies -stream)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		pcapPath     = flag.String("pcap", "", "pcap trace to analyze")
+		scanPath     = flag.String("scan", "", "binary file to host-scan instead of a trace")
+		honeypots    = flag.String("honeypot", "192.168.1.250", "comma-separated decoy addresses")
+		dark         = flag.String("dark", "192.168.2.0/24", "comma-separated un-used CIDR prefixes")
+		threshold    = flag.Int("t", 3, "dark-space scan threshold")
+		all          = flag.Bool("all", false, "disable classification: analyze every payload")
+		fullscan     = flag.Bool("fullscan", false, "disable extraction pruning too (exhaustive baseline)")
+		workers      = flag.Int("workers", 0, "analysis workers (0 = NumCPU)")
+		quiet        = flag.Bool("q", false, "suppress per-alert output")
+		jsonOut      = flag.Bool("json", false, "emit alerts as JSONL instead of text")
+		summary      = flag.Bool("summary", false, "print a per-source incident summary at exit")
+		tplFile      = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
+		stream       = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
+		shards       = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
+		shed         = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
+		replay       = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
+		speed        = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
+		correlate    = flag.Bool("correlate", false, "attach the incident correlator (implies -stream)")
+		lineageOn    = flag.Bool("lineage", false, "compute structural fingerprints and trace payload ancestry (implies -correlate)")
+		incWindow    = flag.Duration("incident-window", 30*time.Second, "fan-out sliding window in trace time (with -correlate)")
+		sensor       = flag.String("sensor", "", "sensor ID stamped on exported incident evidence (default \"sensor\")")
+		exportPath   = flag.String("export", "", "write the correlator's evidence export here at exit (implies -correlate)")
+		importPath   = flag.String("import-incidents", "", "seed the correlator from an evidence export before the run (implies -correlate)")
+		exportDir    = flag.String("export-dir", "", "durable incident sink: rotated evidence segments + crash recovery (implies -correlate)")
+		exportKeep   = flag.Int("export-keep", 0, "retained evidence segments in -export-dir — the push spool bound (0 = default 4, floor 2)")
+		pushURL      = flag.String("push", "", "stream evidence segments to federation aggregators at these comma-separated URLs in failover order, e.g. http://agg:9444/push,http://agg2:9444/push (requires -export-dir)")
+		pushWait     = flag.Duration("push-wait", 0, "after the trace, wait up to this long for the aggregator to ack the spool (with -push)")
+		pushCompress = flag.String("push-compress", "auto", "push body compression: auto (once the aggregator advertises support), on, or off (with -push)")
+		stats        = flag.Bool("stats", false, "print per-shard load gauges and correlator counters (with -stream)")
+		listen       = flag.String("listen", "", "serve /metrics, /statusz, /healthz and /debug/pprof on this address while the run lasts (implies -stream)")
+		statsEvery   = flag.Duration("stats-interval", 0, "emit a JSON-lines /statusz snapshot to stderr at this interval (implies -stream)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -196,7 +202,8 @@ func run() int {
 			sensor:  *sensor, exportPath: *exportPath,
 			importPath: *importPath, exportDir: *exportDir,
 			exportKeep: *exportKeep,
-			pushURL:    *pushURL, pushWait: *pushWait,
+			pushURLs:   splitList(*pushURL),
+			pushWait:   *pushWait, pushCompress: *pushCompress,
 			listen: *listen, statsEvery: *statsEvery,
 		})
 	}
@@ -252,10 +259,23 @@ type engineOpts struct {
 	importPath     string
 	exportDir      string
 	exportKeep     int
-	pushURL        string
+	pushURLs       []string
 	pushWait       time.Duration
+	pushCompress   string
 	listen         string
 	statsEvery     time.Duration
+}
+
+// splitList splits a comma-separated flag value, dropping empty
+// elements so "a,,b" and "" behave as expected.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runEngine feeds the trace through the streaming engine, optionally
@@ -273,7 +293,8 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 		SensorID:             opts.sensor,
 		IncidentExportDir:    opts.exportDir,
 		IncidentKeepSegments: opts.exportKeep,
-		PushURL:              opts.pushURL,
+		PushURLs:             opts.pushURLs,
+		PushCompression:      opts.pushCompress,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semnids:", err)
@@ -396,7 +417,7 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			return 1
 		}
 	}
-	if opts.pushURL != "" && opts.pushWait > 0 {
+	if len(opts.pushURLs) > 0 && opts.pushWait > 0 {
 		// Commit the trace's full evidence durably first — Drain only
 		// *requests* a checkpoint, so without this the wait could see an
 		// empty spool and return before there is anything to push. Then
@@ -429,10 +450,14 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 			sm := e.SinkStats()
 			fmt.Printf("sink: checkpoints=%d rotations=%d dropped=%d errors=%d\n",
 				sm.Checkpoints, sm.Rotations, sm.Dropped, sm.Errors)
-			if opts.pushURL != "" {
+			if len(opts.pushURLs) > 0 {
 				p := sm.Push
 				fmt.Printf("push: pushed=%d acked=%d retried=%d rejected=%d dropped=%d spooled=%d backoff=%s\n",
 					p.Pushed, p.Acked, p.Retried, p.Rejected, p.Dropped, p.Spooled, p.Backoff)
+				if len(opts.pushURLs) > 1 || p.Compressed > 0 {
+					fmt.Printf("push: upstream=%s failovers=%d compressed=%d raw-bytes=%d wire-bytes=%d\n",
+						p.ActiveUpstream, p.Failovers, p.Compressed, p.RawBytes, p.WireBytes)
+				}
 				if p.LastError != "" {
 					fmt.Printf("push: last-error: %s\n", p.LastError)
 				}

@@ -1,0 +1,327 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// encode compresses b with the default parameters and returns the wire
+// bytes, failing the test on any writer error.
+func encode(t testing.TB, b []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	w := NewWriter(&out)
+	if _, err := w.Write(b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return out.Bytes()
+}
+
+func decode(t testing.TB, b []byte) []byte {
+	t.Helper()
+	r := NewReader(bytes.NewReader(b))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Reader.Close: %v", err)
+	}
+	return got
+}
+
+// corpus builds inputs that exercise literals, short and long matches,
+// overlapping runs and window-crossing repetition.
+func corpus() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	random := make([]byte, 50000)
+	rng.Read(random)
+
+	jsonish := func(n int) []byte {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, `{"kind":"evd","src":"10.9.%d.%d","class":"code-red-ii","bytes":%d,"sig":"return-address-region"}`+"\n",
+				i%256, (i*7)%256, 1000+i%512)
+		}
+		return []byte(sb.String())
+	}
+
+	return map[string][]byte{
+		"empty":       nil,
+		"one":         {0x42},
+		"two":         {0x42, 0x42},
+		"run":         bytes.Repeat([]byte{'a'}, 10000),
+		"run-pair":    bytes.Repeat([]byte("ab"), 7000),
+		"ascii":       []byte("the quick brown fox jumps over the lazy dog"),
+		"random":      random,
+		"jsonish":     jsonish(400),
+		"big-jsonish": jsonish(4000), // crosses the compaction threshold
+		"binary-rep":  bytes.Repeat([]byte{0, 1, 2, 3, 0xff, 0xfe}, 9000),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, in := range corpus() {
+		t.Run(name, func(t *testing.T) {
+			wire := encode(t, in)
+			got := decode(t, wire)
+			if !bytes.Equal(got, in) {
+				t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(in))
+			}
+		})
+	}
+}
+
+func TestRoundTripChunked(t *testing.T) {
+	in := corpus()["jsonish"]
+	var out bytes.Buffer
+	w := NewWriter(&out)
+	for i := 0; i < len(in); i += 3 {
+		end := i + 3
+		if end > len(in) {
+			end = len(in)
+		}
+		if _, err := w.Write(in[i:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Tiny destination buffers on the read side.
+	r := NewReader(bytes.NewReader(out.Bytes()))
+	var got []byte
+	buf := make([]byte, 7)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if !bytes.Equal(got, in) {
+		t.Fatalf("chunked round trip mismatch")
+	}
+}
+
+func TestRoundTripAllParams(t *testing.T) {
+	in := corpus()["jsonish"]
+	for wb := minWindowBits; wb <= maxWindowBits; wb++ {
+		for lb := minLookaheadBits; lb <= maxLookaheadBits && lb < wb; lb++ {
+			var out bytes.Buffer
+			w, err := NewWriterSize(&out, wb, lb)
+			if err != nil {
+				t.Fatalf("NewWriterSize(%d,%d): %v", wb, lb, err)
+			}
+			if _, err := w.Write(in); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if got := decode(t, out.Bytes()); !bytes.Equal(got, in) {
+				t.Fatalf("W=%d L=%d round trip mismatch", wb, lb)
+			}
+		}
+	}
+}
+
+// TestTruncationEveryOffset is the strict-prefix guarantee: a stream
+// cut at ANY byte offset must decode to a prefix of the original and
+// fail with ErrTruncated, and Close must report ErrBadStateOnClose.
+func TestTruncationEveryOffset(t *testing.T) {
+	in := corpus()["jsonish"][:4000]
+	wire := encode(t, in)
+	if len(wire) < 64 {
+		t.Fatalf("wire too small to be interesting: %d bytes", len(wire))
+	}
+	for cut := 0; cut < len(wire); cut++ {
+		r := NewReader(bytes.NewReader(wire[:cut]))
+		got, err := io.ReadAll(r)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+		if !bytes.HasPrefix(in, got) {
+			t.Fatalf("cut=%d: decoded %d bytes are not a prefix of the original", cut, len(got))
+		}
+		// Only a cut inside the trailing end-of-stream marker (at
+		// most the final two bytes) may still recover every payload
+		// byte; anywhere earlier, output must be missing.
+		if len(got) == len(in) && cut < len(wire)-2 {
+			t.Fatalf("cut=%d/%d: full output recovered from truncated input", cut, len(wire))
+		}
+		if err := r.Close(); !errors.Is(err, ErrBadStateOnClose) {
+			t.Fatalf("cut=%d: Close = %v, want ErrBadStateOnClose", cut, err)
+		}
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	valid := encode(t, []byte("hello hello hello"))
+
+	t.Run("bad-magic", func(t *testing.T) {
+		wire := append([]byte{}, valid...)
+		wire[0] = 'X'
+		_, err := io.ReadAll(NewReader(bytes.NewReader(wire)))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad-params", func(t *testing.T) {
+		wire := append([]byte{}, valid...)
+		wire[2] = 0xff // windowBits 15 out of range
+		_, err := io.ReadAll(NewReader(bytes.NewReader(wire)))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("backref-before-start", func(t *testing.T) {
+		// Header then a backreference with nothing decoded yet:
+		// tag=0, lenField=1, dist bits... craft by hand: after the
+		// 3-byte header, bits 0 00001 00000000001 → invalid distance.
+		wire := []byte{magic0, magic1, DefaultWindowBits<<4 | DefaultLookaheadBits, 0b00000100, 0b00000001, 0x00}
+		_, err := io.ReadAll(NewReader(bytes.NewReader(wire)))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestWriterCloseAfterWriteError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	// Enough input to force a flush through the failing writer.
+	big := bytes.Repeat([]byte("abcdefgh"), 4096)
+	var werr error
+	for i := 0; i < 64 && werr == nil; i++ {
+		_, werr = w.Write(big)
+	}
+	if werr == nil {
+		t.Fatalf("Write never surfaced the downstream failure")
+	}
+	if err := w.Close(); !errors.Is(err, ErrBadStateOnClose) {
+		t.Fatalf("Close = %v, want ErrBadStateOnClose", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestReaderCloseCleanAndEmpty(t *testing.T) {
+	wire := encode(t, nil)
+	r := NewReader(bytes.NewReader(wire))
+	got, err := io.ReadAll(r)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: got %d bytes, err %v", len(got), err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after clean EOS: %v", err)
+	}
+}
+
+func TestCompressionRatioJSONL(t *testing.T) {
+	in := corpus()["big-jsonish"]
+	wire := encode(t, in)
+	ratio := float64(len(in)) / float64(len(wire))
+	t.Logf("jsonish: %d -> %d bytes (%.2fx)", len(in), len(wire), ratio)
+	if ratio < 3.0 {
+		t.Fatalf("compression ratio %.2fx below 3x floor on repetitive JSONL", ratio)
+	}
+	// Incompressible input must not blow up badly: worst case is
+	// 9 bits per literal plus header and EOS.
+	rnd := corpus()["random"]
+	rw := encode(t, rnd)
+	if float64(len(rw)) > float64(len(rnd))*9.0/8.0+16 {
+		t.Fatalf("incompressible expansion too large: %d -> %d", len(rnd), len(rw))
+	}
+}
+
+// FuzzDecompress drives the decoder over arbitrary input: it must never
+// panic, never return more than the bounded output, and on valid
+// prefixes must fail with the sentinel errors only.
+func FuzzDecompress(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		{magic0},
+		{magic0, magic1},
+		{magic0, magic1, DefaultWindowBits<<4 | DefaultLookaheadBits},
+		{0xff, 0xff, 0xff, 0xff},
+	}
+	for _, in := range corpus() {
+		wire := encodeFuzzSeed(in)
+		seeds = append(seeds, wire)
+		if len(wire) > 4 {
+			seeds = append(seeds, wire[:len(wire)/2], wire[:len(wire)-1])
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOut = 1 << 22
+		r := NewReader(bytes.NewReader(data))
+		n, err := io.Copy(io.Discard, io.LimitReader(r, maxOut))
+		if n > maxOut {
+			t.Fatalf("decoder exceeded output bound")
+		}
+		if err == nil {
+			// Either clean EOS or the output bound was hit
+			// mid-stream; Close distinguishes.
+			_ = r.Close()
+			return
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if cerr := r.Close(); cerr == nil {
+			t.Fatalf("Close succeeded after decode error %v", err)
+		}
+	})
+}
+
+func encodeFuzzSeed(b []byte) []byte {
+	var out bytes.Buffer
+	w := NewWriter(&out)
+	w.Write(b)
+	w.Close()
+	return out.Bytes()
+}
+
+func BenchmarkCompressJSONL(b *testing.B) {
+	in := corpus()["big-jsonish"]
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	var wireLen int
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		w.Write(in)
+		w.Close()
+		wireLen = out.Len()
+	}
+	b.ReportMetric(float64(len(in))/float64(wireLen), "ratio")
+}
+
+func BenchmarkDecompressJSONL(b *testing.B) {
+	in := corpus()["big-jsonish"]
+	wire := encode(b, in)
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(wire))
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fed
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,6 +56,24 @@ type SinkConfig struct {
 	// scrape time plus the checkpoint fsync-latency histogram (the
 	// floor under every durable ack). Nil creates a private registry.
 	Telemetry *telemetry.Registry
+
+	// openSeg opens a new segment file; a seam so tests can inject
+	// write failures (ENOSPC) without a real full disk. Nil uses the
+	// filesystem. Must preserve O_CREATE|O_EXCL semantics: an
+	// existing-name collision must satisfy os.IsExist.
+	openSeg func(path string) (segmentFile, error)
+}
+
+// segmentFile is the write surface of an open segment.
+type segmentFile interface {
+	io.Writer
+	Sync() error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+func openSegFile(path string) (segmentFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 }
 
 func (cfg SinkConfig) withDefaults() SinkConfig {
@@ -71,6 +90,9 @@ func (cfg SinkConfig) withDefaults() SinkConfig {
 		cfg.KeepSegments = 4
 	} else if cfg.KeepSegments == 1 {
 		cfg.KeepSegments = 2
+	}
+	if cfg.openSeg == nil {
+		cfg.openSeg = openSegFile
 	}
 	return cfg
 }
@@ -90,6 +112,18 @@ type SinkMetrics struct {
 	// Errors counts failed checkpoint writes (the sink keeps running
 	// and retries on the next trigger).
 	Errors uint64
+
+	// WriteErrors counts segment write and rotate failures at the I/O
+	// layer (ENOSPC, quota, a yanked volume). Each one degrades
+	// gracefully: the sink sheds the oldest shed-eligible segment to
+	// free space and retries on the next trigger, so a full spool disk
+	// slows federation instead of wedging the engine.
+	WriteErrors uint64
+
+	// Shed counts segments deleted by disk-exhaustion shedding (not
+	// by normal retention pruning). Shedding never touches the newest
+	// committed segment or the one being written.
+	Shed uint64
 }
 
 // Sink persists correlator evidence to size/age-rotated segment
@@ -108,6 +142,7 @@ type Sink struct {
 
 	m struct {
 		checkpoints, rotations, dropped, errors atomic.Uint64
+		writeErrors, shed                       atomic.Uint64
 	}
 
 	// fsyncNS times one checkpoint's frame+flush+fsync — the sink
@@ -115,7 +150,7 @@ type Sink struct {
 	fsyncNS *telemetry.Histogram
 
 	// Writer state, sink goroutine only.
-	f        *os.File
+	f        segmentFile
 	bw       *bufio.Writer
 	size     int64
 	openedAt time.Time
@@ -177,6 +212,8 @@ func (s *Sink) registerTelemetry() {
 	reg.CounterFunc("semnids_sink_rotations_total", "Segment rollovers.", s.m.rotations.Load)
 	reg.CounterFunc("semnids_sink_dropped_total", "Checkpoint triggers coalesced into a pending one.", s.m.dropped.Load)
 	reg.CounterFunc("semnids_sink_errors_total", "Failed checkpoint writes (retried on the next trigger).", s.m.errors.Load)
+	reg.CounterFunc("semnids_sink_write_errors_total", "Segment write/rotate failures at the I/O layer (ENOSPC); the sink sheds old segments and keeps running.", s.m.writeErrors.Load)
+	reg.CounterFunc("semnids_sink_shed_total", "Segments deleted by disk-exhaustion shedding.", s.m.shed.Load)
 	s.fsyncNS = reg.Histogram("semnids_sink_checkpoint_fsync_ns",
 		"One checkpoint written durably: frame, flush and fsync.")
 }
@@ -244,6 +281,8 @@ func (s *Sink) Metrics() SinkMetrics {
 		Rotations:   s.m.rotations.Load(),
 		Dropped:     s.m.dropped.Load(),
 		Errors:      s.m.errors.Load(),
+		WriteErrors: s.m.writeErrors.Load(),
+		Shed:        s.m.shed.Load(),
 	}
 }
 
@@ -287,6 +326,7 @@ func (s *Sink) checkpoint() error {
 	if s.f == nil || s.size >= s.cfg.RotateBytes || time.Since(s.openedAt) >= s.cfg.RotateEvery {
 		if err := s.rotate(ex); err != nil {
 			s.m.errors.Add(1)
+			s.degrade()
 			return err
 		}
 	}
@@ -296,6 +336,7 @@ func (s *Sink) checkpoint() error {
 		// The segment tail is now suspect: force a fresh segment on the
 		// next checkpoint rather than appending after a partial group.
 		s.closeSegment()
+		s.degrade()
 		return err
 	}
 	s.committedSeg = s.segIndex - 1
@@ -307,10 +348,10 @@ func (s *Sink) checkpoint() error {
 // header, and prunes old segments.
 func (s *Sink) rotate(ex *incident.EvidenceExport) error {
 	s.closeSegment()
-	var f *os.File
+	var f segmentFile
 	for {
 		var err error
-		f, err = os.OpenFile(filepath.Join(s.cfg.Dir, segName(s.segIndex)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		f, err = s.cfg.openSeg(filepath.Join(s.cfg.Dir, segName(s.segIndex)))
 		if err == nil {
 			break
 		}
@@ -381,6 +422,41 @@ func (s *Sink) closeSegment() {
 	s.f.Sync()
 	s.f.Close()
 	s.f, s.bw = nil, nil
+}
+
+// degrade is the disk-exhaustion path: count the I/O failure and free
+// space by shedding the oldest shed-eligible segment, so a full spool
+// disk converges on "newest evidence retained, oldest shed" instead of
+// wedging every subsequent checkpoint. Checkpoints are full snapshots,
+// so shed history is re-covered by the next successful write; what is
+// lost is only spool depth for a disconnected upstream.
+func (s *Sink) degrade() {
+	s.m.writeErrors.Add(1)
+	s.shedOldest()
+}
+
+// shedOldest deletes the oldest segment that is neither the newest
+// committed checkpoint nor the segment currently being written.
+// Reports whether anything was shed.
+func (s *Sink) shedOldest() bool {
+	segs, err := listSegments(s.cfg.Dir)
+	if err != nil {
+		return false
+	}
+	open := -1
+	if s.f != nil {
+		open = s.segIndex - 1
+	}
+	for _, seg := range segs {
+		if seg.index == s.committedSeg || seg.index == open {
+			continue
+		}
+		if os.Remove(filepath.Join(s.cfg.Dir, seg.name)) == nil {
+			s.m.shed.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // prune deletes segments beyond the retention budget, oldest first —

@@ -41,11 +41,15 @@ import (
 	"io"
 	"net/http"
 	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"semnids/internal/fed"
+	"semnids/internal/fed/compress"
 	"semnids/internal/incident"
 	"semnids/internal/telemetry"
 )
@@ -81,11 +85,48 @@ type AggregatorConfig struct {
 	// with its sink, so one scrape covers both). Nil creates a private
 	// registry.
 	Telemetry *telemetry.Registry
+
+	// NodeID names this aggregator in the federation topology
+	// (default "agg"). It is stamped into the Via set of upstream
+	// pushes and matched against incoming Via sets to refuse cycles,
+	// so every aggregator in a tree needs a distinct ID.
+	NodeID string
+
+	// MaxHops bounds how many federation tiers evidence may traverse
+	// (default 16). A push whose hop count exceeds it is refused with
+	// 409 — the backstop against topologies that dodge the Via set
+	// (e.g. a cycle wider than the bounded set).
+	MaxHops int
+
+	// Upstreams makes this aggregator an interior tree node: its own
+	// sink directory doubles as the spool of a Pusher delivering the
+	// folded state up the tree, in priority order with failover. Empty
+	// means a root (or standalone) aggregator.
+	Upstreams []string
+
+	// UpstreamClient / PushInterval / PushTimeout / PushBackoffMin /
+	// PushBackoffMax / PushProbeInterval / PushSeed / Compression tune
+	// the upstream pusher (see PusherConfig; zero values take its
+	// defaults). Ignored without Upstreams.
+	UpstreamClient    *http.Client
+	PushInterval      time.Duration
+	PushTimeout       time.Duration
+	PushBackoffMin    time.Duration
+	PushBackoffMax    time.Duration
+	PushProbeInterval time.Duration
+	PushSeed          int64
+	Compression       Compression
 }
 
 func (cfg AggregatorConfig) withDefaults() AggregatorConfig {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "agg"
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 16
 	}
 	return cfg
 }
@@ -107,6 +148,15 @@ type AggregatorMetrics struct {
 	// (500 — the pusher retries, the merge is idempotent).
 	Errors uint64
 
+	// Cycles counts pushes refused by the topology guards (409): the
+	// Via set named this aggregator, or the hop count exceeded
+	// MaxHops. Any nonzero value means a misconfigured tree.
+	Cycles uint64
+
+	// Unsupported counts pushes refused for an unknown
+	// Content-Encoding (415).
+	Unsupported uint64
+
 	// Sensors and Sources describe the current merged state.
 	Sensors, Sources int
 }
@@ -124,8 +174,20 @@ type Aggregator struct {
 	sink   *fed.Sink
 	closed atomic.Bool
 
+	// push delivers the folded state up the tree (nil for a root).
+	push *Pusher
+
+	// Topology observed from incoming pushes: the deepest hop count
+	// seen and the union of Via sets (bounded). An interior node's own
+	// upstream pushes stamp hops = maxSeenHops+1 and via = {NodeID} ∪
+	// seenVia, so depth and provenance accumulate tier over tier.
+	topoMu      sync.Mutex
+	maxSeenHops int
+	seenVia     map[string]bool
+
 	m struct {
 		received, merged, rejected, tooLarge, skew, errors atomic.Uint64
+		cycles, unsupported                                atomic.Uint64
 	}
 
 	// foldNS times one accepted push end to end on the aggregator:
@@ -144,8 +206,13 @@ type Aggregator struct {
 	ackedAt map[netip.Addr]uint64
 }
 
-// maxAckedSources bounds the ack-time annotation table.
-const maxAckedSources = 65536
+// maxAckedSources bounds the ack-time annotation table; maxVia bounds
+// the accumulated seen-via set (MaxHops bounds depth even when the set
+// overflows).
+const (
+	maxAckedSources = 65536
+	maxVia          = 256
+)
 
 // NewAggregator recovers the newest committed state from the sink
 // directory (if any) and starts the durable sink.
@@ -154,7 +221,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("transport: aggregator needs a sink directory")
 	}
-	a := &Aggregator{cfg: cfg, ackedAt: make(map[netip.Addr]uint64)}
+	a := &Aggregator{cfg: cfg, ackedAt: make(map[netip.Addr]uint64), seenVia: make(map[string]bool)}
 	if a.cfg.Telemetry == nil {
 		a.cfg.Telemetry = telemetry.NewRegistry()
 	}
@@ -176,8 +243,47 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		return nil, fmt.Errorf("transport: aggregator sink: %w", err)
 	}
 	a.sink = sink
+	if len(cfg.Upstreams) > 0 {
+		// The aggregator's own sink directory is the upstream spool:
+		// every durable fold grows a segment the pusher will deliver,
+		// and fold associativity makes any tree bracketing converge.
+		push, err := NewPusher(PusherConfig{
+			Dir:            cfg.Dir,
+			URLs:           cfg.Upstreams,
+			Client:         cfg.UpstreamClient,
+			ScanInterval:   cfg.PushInterval,
+			RequestTimeout: cfg.PushTimeout,
+			BackoffMin:     cfg.PushBackoffMin,
+			BackoffMax:     cfg.PushBackoffMax,
+			ProbeInterval:  cfg.PushProbeInterval,
+			Seed:           cfg.PushSeed,
+			Compression:    cfg.Compression,
+			Route:          a.route,
+			Telemetry:      a.cfg.Telemetry,
+		})
+		if err != nil {
+			sink.Close()
+			return nil, fmt.Errorf("transport: aggregator upstream pusher: %w", err)
+		}
+		a.push = push
+	}
 	a.registerTelemetry()
 	return a, nil
+}
+
+// route is the topology stamp for this node's upstream pushes: one
+// tier deeper than the deepest push folded here, via this node plus
+// everything already seen.
+func (a *Aggregator) route() (int, []string) {
+	a.topoMu.Lock()
+	defer a.topoMu.Unlock()
+	via := make([]string, 0, len(a.seenVia)+1)
+	via = append(via, a.cfg.NodeID)
+	for id := range a.seenVia {
+		via = append(via, id)
+	}
+	sort.Strings(via[1:])
+	return a.maxSeenHops + 1, via
 }
 
 // registerTelemetry installs the aggregator's metric series (its sink
@@ -190,6 +296,8 @@ func (a *Aggregator) registerTelemetry() {
 	reg.CounterFunc("semnids_agg_too_large_total", "Bodies over MaxBodyBytes (413).", a.m.tooLarge.Load)
 	reg.CounterFunc("semnids_agg_skew_total", "Pushes with incompatible correlation parameters (409).", a.m.skew.Load)
 	reg.CounterFunc("semnids_agg_errors_total", "Folds that merged but failed the durable commit (500).", a.m.errors.Load)
+	reg.CounterFunc("semnids_agg_cycles_total", "Pushes refused by the topology guards: Via-set cycle or hop budget (409).", a.m.cycles.Load)
+	reg.CounterFunc("semnids_agg_unsupported_total", "Pushes refused for an unknown Content-Encoding (415).", a.m.unsupported.Load)
 	reg.GaugeFunc("semnids_agg_sensors", "Distinct sensors in the merged state.", func() int64 {
 		st := a.Export()
 		if st == nil {
@@ -261,12 +369,14 @@ func (a *Aggregator) Export() *incident.EvidenceExport {
 // Metrics returns current aggregator counters and gauges.
 func (a *Aggregator) Metrics() AggregatorMetrics {
 	m := AggregatorMetrics{
-		Received: a.m.received.Load(),
-		Merged:   a.m.merged.Load(),
-		Rejected: a.m.rejected.Load(),
-		TooLarge: a.m.tooLarge.Load(),
-		Skew:     a.m.skew.Load(),
-		Errors:   a.m.errors.Load(),
+		Received:    a.m.received.Load(),
+		Merged:      a.m.merged.Load(),
+		Rejected:    a.m.rejected.Load(),
+		TooLarge:    a.m.tooLarge.Load(),
+		Skew:        a.m.skew.Load(),
+		Errors:      a.m.errors.Load(),
+		Cycles:      a.m.cycles.Load(),
+		Unsupported: a.m.unsupported.Load(),
 	}
 	if st := a.Export(); st != nil {
 		m.Sensors = len(st.Sensors)
@@ -278,50 +388,144 @@ func (a *Aggregator) Metrics() AggregatorMetrics {
 // SinkStats returns the aggregator's durable-sink counters.
 func (a *Aggregator) SinkStats() fed.SinkMetrics { return a.sink.Metrics() }
 
-// Close writes a final durable checkpoint and stops the sink.
+// PushStats returns the upstream pusher's metrics and whether this
+// aggregator has one (interior tree nodes only).
+func (a *Aggregator) PushStats() (PushMetrics, bool) {
+	if a.push == nil {
+		return PushMetrics{}, false
+	}
+	return a.push.Metrics(), true
+}
+
+// NotifyUpstream nudges the upstream pusher's spool scan (no-op on a
+// root). Tests use it to tighten convergence; production relies on the
+// per-fold nudge in ServeHTTP.
+func (a *Aggregator) NotifyUpstream() {
+	if a.push != nil {
+		a.push.Notify()
+	}
+}
+
+// Close writes a final durable checkpoint, stops the sink, and then
+// lets the upstream pusher (if any) make its final sweep — so the
+// closing node's last folds still reach its upstream.
 func (a *Aggregator) Close() {
 	a.closed.Store(true)
 	a.sink.Close()
+	if a.push != nil {
+		a.push.Close()
+	}
 }
 
-// Kill crash-stops the aggregator: no final checkpoint, no flush —
-// durable state is exactly the checkpoints committed before the kill.
-// The restart tests (and operator fault drills) use this to prove
-// recovery; production shutdown is Close.
+// Kill crash-stops the aggregator: no final checkpoint, no flush, no
+// farewell push — durable state is exactly the checkpoints committed
+// before the kill. The restart tests (and operator fault drills) use
+// this to prove recovery; production shutdown is Close.
 func (a *Aggregator) Kill() {
 	a.closed.Store(true)
 	a.sink.Kill()
+	if a.push != nil {
+		a.push.Kill()
+	}
 }
 
 // ServeHTTP accepts one pushed evidence segment per POST request and
-// folds it into the merged state. Responses:
+// folds it into the merged state. GET/HEAD is the liveness/capability
+// probe: 204 with this node's ID and accepted encodings in the
+// headers (stamped on every response, so pushers learn capabilities
+// from acks too). Responses:
 //
 //	200 — folded and (unless AsyncAck) durably committed
+//	204 — probe (GET/HEAD)
 //	400 — corrupt, truncated-before-first-checkpoint, or empty body
-//	405 — not a POST
-//	409 — correlation-parameter skew (retrying cannot help)
-//	413 — body at or over MaxBodyBytes
+//	405 — not a POST/GET/HEAD
+//	409 — correlation-parameter skew, or a topology-guard refusal
+//	      (Via-set cycle / hop budget) — retrying cannot help
+//	413 — body (wire or decoded) at or over MaxBodyBytes
+//	415 — unknown Content-Encoding
 //	500 — folded but not durably committed (retry is safe)
 //	503 — aggregator closed
 func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h.Set(HeaderNode, a.cfg.NodeID)
+	h.Set(HeaderAcceptEncoding, compress.ContentEncoding)
 	if a.closed.Load() {
 		http.Error(w, "transport: aggregator closed", http.StatusServiceUnavailable)
 		return
 	}
-	if r.Method != http.MethodPost {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case http.MethodPost:
+	default:
 		http.Error(w, "transport: push is POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	a.m.received.Add(1)
 	t0 := time.Now()
 
+	// Topology guards before any body work: refuse evidence that has
+	// already been folded here (cycle) or traveled too deep.
+	hops := 1
+	if v := r.Header.Get(HeaderHops); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			hops = n
+		}
+	}
+	var via []string
+	if v := r.Header.Get(HeaderVia); v != "" {
+		for _, id := range strings.Split(v, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				via = append(via, id)
+			}
+		}
+	}
+	for _, id := range via {
+		if id == a.cfg.NodeID {
+			a.m.cycles.Add(1)
+			http.Error(w, fmt.Sprintf("transport: topology cycle: evidence already folded by %q (via %s)", a.cfg.NodeID, strings.Join(via, ",")), http.StatusConflict)
+			return
+		}
+	}
+	if hops > a.cfg.MaxHops {
+		a.m.cycles.Add(1)
+		http.Error(w, fmt.Sprintf("transport: hop count %d exceeds the %d-tier budget", hops, a.cfg.MaxHops), http.StatusConflict)
+		return
+	}
+	a.topoMu.Lock()
+	if hops > a.maxSeenHops {
+		a.maxSeenHops = hops
+	}
+	for _, id := range via {
+		if len(a.seenVia) >= maxVia {
+			break
+		}
+		a.seenVia[id] = true
+	}
+	a.topoMu.Unlock()
+
 	// Bound the body before the decoder sees it. The decoder's own
 	// MaxRecordBytes bound refuses oversized per-record claims before
-	// allocating; this bound caps the whole segment. One extra byte of
-	// budget distinguishes "fits exactly" from "was cut off".
-	lr := &io.LimitedReader{R: r.Body, N: a.cfg.MaxBodyBytes + 1}
-	ex, err := fed.ReadExport(lr)
-	if lr.N <= 0 {
+	// allocating; this bound caps the whole segment — on both sides of
+	// the content decoding, so a small compressed body cannot expand
+	// past the budget. One extra byte of budget distinguishes "fits
+	// exactly" from "was cut off".
+	wireLR := &io.LimitedReader{R: r.Body, N: a.cfg.MaxBodyBytes + 1}
+	var body io.Reader = wireLR
+	var decLR *io.LimitedReader
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case compress.ContentEncoding:
+		decLR = &io.LimitedReader{R: compress.NewReader(wireLR), N: a.cfg.MaxBodyBytes + 1}
+		body = decLR
+	default:
+		a.m.unsupported.Add(1)
+		http.Error(w, fmt.Sprintf("transport: unsupported content encoding %q", enc), http.StatusUnsupportedMediaType)
+		return
+	}
+	ex, err := fed.ReadExport(body)
+	if wireLR.N <= 0 || (decLR != nil && decLR.N <= 0) {
 		a.m.tooLarge.Add(1)
 		http.Error(w, fmt.Sprintf("transport: segment body exceeds the %d-byte bound", a.cfg.MaxBodyBytes), http.StatusRequestEntityTooLarge)
 		return
@@ -368,6 +572,12 @@ func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	a.recordAcks(ex)
 	a.foldNS.Observe(time.Since(t0).Nanoseconds())
+	if a.push != nil {
+		// The fold just grew this node's own sink segment: nudge the
+		// upstream pusher so the tree converges at fold cadence, not
+		// scan cadence.
+		a.push.Notify()
+	}
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ok\n")
 }

@@ -66,11 +66,31 @@ type Plan struct {
 	// MaxLatency adds a uniform random delay in [0, MaxLatency) to
 	// every request (0 disables).
 	MaxLatency time.Duration
+
+	// Outages schedules deterministic full-partition windows by
+	// request index: every request inside a window fails as a drop,
+	// regardless of the probability draws. Windows let multi-tier
+	// tests partition one subtree for an exact span of traffic.
+	Outages []Outage
 }
 
-// Counts reports how many requests saw each injected fault.
+// Outage is a full-partition window over the request sequence: the
+// Requests consecutive requests starting after the first After
+// requests all fail with ErrInjectedDrop.
+type Outage struct {
+	// After is how many requests pass before the outage begins
+	// (0 = partitioned from the first request).
+	After int
+
+	// Requests is how many consecutive requests the outage swallows.
+	Requests int
+}
+
+// Counts reports how many requests saw each injected fault. Outaged
+// counts requests swallowed by partition windows (not included in
+// Drops, which counts only probability-drawn drops).
 type Counts struct {
-	Requests, Drops, Truncations, Errs, Duplicates, Delivered uint64
+	Requests, Drops, Truncations, Errs, Duplicates, Outaged, Delivered uint64
 }
 
 // Transport wraps an http.RoundTripper with the fault plan. Safe for
@@ -132,6 +152,16 @@ func (t *Transport) decide(hasBody bool) verdict {
 	truncAt := t.rng.Float64()
 	err503 := t.rng.Float64() < t.plan.Err
 	dup := t.rng.Float64() < t.plan.Duplicate
+	// Partition windows override the draws (which were still consumed,
+	// keeping the rest of the schedule stable when a window is added).
+	idx := int(t.c.Requests) - 1
+	for _, o := range t.plan.Outages {
+		if idx >= o.After && idx < o.After+o.Requests {
+			v.drop = true
+			t.c.Outaged++
+			return v
+		}
+	}
 	switch {
 	case drop:
 		v.drop = true

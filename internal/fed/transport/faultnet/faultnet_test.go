@@ -135,6 +135,40 @@ func TestDuplicateDeliversTwice(t *testing.T) {
 	}
 }
 
+// TestOutageWindow: a partition window swallows exactly its span of
+// the request sequence, leaves the surrounding draws untouched, and is
+// counted separately from probability drops.
+func TestOutageWindow(t *testing.T) {
+	srv, seen := countingServer()
+	defer srv.Close()
+	ft := New(nil, Plan{Seed: 3, Outages: []Outage{{After: 2, Requests: 3}}})
+	client := &http.Client{Transport: ft}
+	var errs []error
+	for i := 0; i < 8; i++ {
+		resp, err := push(t, client, srv.URL, []byte("payload"))
+		if err == nil {
+			resp.Body.Close()
+		}
+		errs = append(errs, err)
+	}
+	for i, err := range errs {
+		inWindow := i >= 2 && i < 5
+		if inWindow && !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("request %d: err = %v, want partition drop", i, err)
+		}
+		if !inWindow && err != nil {
+			t.Fatalf("request %d: err = %v, want delivery outside the window", i, err)
+		}
+	}
+	if got := seen(); len(got) != 5 {
+		t.Fatalf("server saw %d deliveries, want 5", len(got))
+	}
+	c := ft.Counts()
+	if c.Outaged != 3 || c.Drops != 0 || c.Delivered != 5 {
+		t.Fatalf("counts = %+v, want 3 outaged / 0 drops / 5 delivered", c)
+	}
+}
+
 // TestScheduleDeterminism: the same seed over the same request
 // sequence draws the same faults; a different seed draws a different
 // schedule.

@@ -10,12 +10,69 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semnids/internal/fed"
+	"semnids/internal/fed/compress"
 	"semnids/internal/telemetry"
 )
+
+// Push-protocol headers. Hops and Via are the tree topology guards: a
+// pusher stamps how deep its evidence has already traveled and through
+// which aggregator nodes, and an aggregator 409s pushes that revisit
+// it or exceed the hop budget — a misconfigured cycle fails loudly at
+// the first revisit instead of folding evidence in circles.
+const (
+	// HeaderSegment carries the spool segment name (diagnostics only).
+	HeaderSegment = "X-Fed-Segment"
+	// HeaderHops is the number of federation tiers this push's
+	// evidence has traversed (1 = straight from a sensor).
+	HeaderHops = "X-Fed-Hops"
+	// HeaderVia is the comma-separated set of aggregator node IDs the
+	// evidence has already been folded by.
+	HeaderVia = "X-Fed-Via"
+	// HeaderAcceptEncoding advertises the segment content encodings an
+	// aggregator accepts; pushers in auto mode learn compression
+	// support from it (absent on pre-compression aggregators).
+	HeaderAcceptEncoding = "X-Fed-Accept-Encoding"
+	// HeaderNode is the responding aggregator's node ID.
+	HeaderNode = "X-Fed-Node"
+)
+
+// Compression selects the push body encoding.
+type Compression int
+
+const (
+	// CompressionAuto compresses once the upstream has advertised
+	// support (via HeaderAcceptEncoding on any response), so new
+	// sensors interoperate with old aggregators: the first push goes
+	// identity, and the ack teaches the pusher what the peer speaks.
+	CompressionAuto Compression = iota
+
+	// CompressionOn always compresses (with a one-shot identity
+	// fallback if the upstream rejects a compressed body).
+	CompressionOn
+
+	// CompressionOff never compresses.
+	CompressionOff
+)
+
+// ParseCompression maps the CLI/config spelling to a Compression mode.
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "", "auto":
+		return CompressionAuto, nil
+	case "on", "always":
+		return CompressionOn, nil
+	case "off", "never":
+		return CompressionOff, nil
+	}
+	return CompressionAuto, fmt.Errorf("transport: unknown compression mode %q (want auto, on or off)", s)
+}
 
 // PusherConfig parameterizes a segment pusher.
 type PusherConfig struct {
@@ -24,9 +81,30 @@ type PusherConfig struct {
 	// nothing but lag, bounded by the sink's prune policy.
 	Dir string
 
-	// URL is the aggregator push endpoint (required), e.g.
-	// "http://agg:9444/push".
+	// URL is the aggregator push endpoint, e.g.
+	// "http://agg:9444/push". Shorthand for a one-element URLs.
 	URL string
+
+	// URLs is the ordered upstream list: the pusher delivers to the
+	// first reachable upstream, fails over down the list when the
+	// active one stops acking, and probes earlier (higher-priority)
+	// upstreams to promote back. One of URL/URLs is required; URLs
+	// wins when both are set.
+	URLs []string
+
+	// ProbeInterval is how often a pusher that has failed away from
+	// the primary probes higher-priority upstreams for promotion
+	// (default 5s).
+	ProbeInterval time.Duration
+
+	// Compression selects the push body encoding (default
+	// CompressionAuto: learn per upstream from response headers).
+	Compression Compression
+
+	// Route supplies the topology stamp for each push: how many tiers
+	// the spooled evidence has already traversed and through which
+	// aggregator node IDs. Nil means a leaf sensor (hops 1, no via).
+	Route func() (hops int, via []string)
 
 	// Client issues the push requests (default: a plain http.Client).
 	// Per-request timeouts come from RequestTimeout, not the client;
@@ -73,8 +151,14 @@ func (cfg PusherConfig) withDefaults() PusherConfig {
 	if cfg.BackoffMax < cfg.BackoffMin {
 		cfg.BackoffMax = cfg.BackoffMin
 	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if len(cfg.URLs) == 0 && cfg.URL != "" {
+		cfg.URLs = []string{cfg.URL}
 	}
 	return cfg
 }
@@ -106,7 +190,50 @@ type PushMetrics struct {
 	// healthy).
 	Backoff   time.Duration
 	LastError string
+
+	// Failovers counts active-upstream switches (demotions after the
+	// active upstream stopped acking plus probe-driven promotions).
+	Failovers uint64
+
+	// Compressed counts pushes delivered with a compressed body;
+	// RawBytes/WireBytes total the body bytes of acked pushes before
+	// and after content encoding — WireBytes/RawBytes is the live
+	// bytes-on-wire ratio.
+	Compressed          uint64
+	RawBytes, WireBytes uint64
+
+	// ActiveUpstream is the URL currently receiving pushes; Upstreams
+	// snapshots every configured upstream in priority order.
+	ActiveUpstream string
+	Upstreams      []UpstreamStatus
 }
+
+// UpstreamStatus is one upstream's slice of the push counters.
+type UpstreamStatus struct {
+	URL                               string
+	Pushed, Acked, Retried, Failovers uint64
+	// Compress is the negotiated body encoding: true once the
+	// upstream advertised (or was configured for) compressed pushes.
+	Compress bool
+	// Active marks the upstream currently receiving pushes.
+	Active bool
+}
+
+// upstream is the pusher's per-upstream state: negotiated encoding
+// plus its telemetry series, labeled by URL.
+type upstream struct {
+	url string
+
+	// compressOK is the learned encoding support in auto mode:
+	// 0 unknown (push identity), 1 advertised, -1 refused/absent.
+	// Atomic: written by the run goroutine, read by Metrics.
+	compressOK atomic.Int32
+
+	pushed, acked, retried, failovers *telemetry.Counter
+	rtt                               *telemetry.Histogram
+}
+
+func (u *upstream) compressSupported() bool { return u.compressOK.Load() == 1 }
 
 // segState is the pusher's per-segment bookkeeping.
 type segState struct {
@@ -148,11 +275,15 @@ type Pusher struct {
 	closing chan struct{}
 	done    chan struct{}
 	once    sync.Once
+	killed  atomic.Bool
 
 	// run-goroutine state.
-	rng     *rand.Rand
-	segs    map[int]*segState
-	backoff time.Duration
+	rng       *rand.Rand
+	segs      map[int]*segState
+	backoff   time.Duration
+	ups       []*upstream
+	active    int // index into ups currently receiving pushes
+	lastProbe time.Time
 
 	// rttNS times one push round trip (request out to status back);
 	// ackLatNS spans unacked bytes first observed to their durable
@@ -179,8 +310,8 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("transport: pusher needs a segment directory")
 	}
-	if cfg.URL == "" {
-		return nil, fmt.Errorf("transport: pusher needs an aggregator URL")
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("transport: pusher needs at least one aggregator URL")
 	}
 	p := &Pusher{
 		cfg:     cfg,
@@ -194,6 +325,10 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if p.client == nil {
 		p.client = &http.Client{}
 	}
+	for _, u := range cfg.URLs {
+		p.ups = append(p.ups, &upstream{url: u})
+	}
+	p.m.ActiveUpstream = p.ups[0].url
 	p.registerTelemetry()
 	go p.run()
 	return p, nil
@@ -220,6 +355,20 @@ func (p *Pusher) registerTelemetry() {
 	cf("semnids_push_retried_total", "Failed uploads left spooled for retry.", func(m PushMetrics) uint64 { return m.Retried })
 	cf("semnids_push_rejected_total", "Uploads permanently refused (4xx) and skipped.", func(m PushMetrics) uint64 { return m.Rejected })
 	cf("semnids_push_dropped_total", "Segments pruned before their evidence was acked.", func(m PushMetrics) uint64 { return m.Dropped })
+	cf("semnids_push_failovers_total", "Active-upstream switches (demotions plus promotions).", func(m PushMetrics) uint64 { return m.Failovers })
+	cf("semnids_push_compressed_total", "Pushes delivered with a compressed body.", func(m PushMetrics) uint64 { return m.Compressed })
+	cf("semnids_push_raw_bytes_total", "Acked push body bytes before content encoding.", func(m PushMetrics) uint64 { return m.RawBytes })
+	cf("semnids_push_wire_bytes_total", "Acked push body bytes on the wire after content encoding.", func(m PushMetrics) uint64 { return m.WireBytes })
+	// Per-upstream series, labeled by URL: the failover story is only
+	// debuggable when each upstream's share of the traffic is visible.
+	for _, u := range p.ups {
+		label := fmt.Sprintf("{upstream=%q}", u.url)
+		u.pushed = reg.Counter("semnids_push_upstream_pushed_total"+label, "Upload attempts to this upstream.")
+		u.acked = reg.Counter("semnids_push_upstream_acked_total"+label, "Uploads this upstream acked durably.")
+		u.retried = reg.Counter("semnids_push_upstream_retried_total"+label, "Failed uploads against this upstream.")
+		u.failovers = reg.Counter("semnids_push_upstream_failovers_total"+label, "Times this upstream became the active one.")
+		u.rtt = reg.Histogram("semnids_push_upstream_rtt_ns"+label, "One push round trip to this upstream.")
+	}
 	reg.GaugeFunc("semnids_push_spooled_segments", "Segments holding unacked bytes as of the latest scan.", func() int64 {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -252,8 +401,21 @@ func (p *Pusher) Notify() {
 // Metrics returns current pusher counters and health gauges.
 func (p *Pusher) Metrics() PushMetrics {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.m
+	m := p.m
+	p.mu.Unlock()
+	m.Upstreams = make([]UpstreamStatus, len(p.ups))
+	for i, u := range p.ups {
+		m.Upstreams[i] = UpstreamStatus{
+			URL:       u.url,
+			Pushed:    u.pushed.Value(),
+			Acked:     u.acked.Value(),
+			Retried:   u.retried.Value(),
+			Failovers: u.failovers.Value(),
+			Compress:  p.cfg.Compression == CompressionOn || u.compressSupported(),
+			Active:    u.url == m.ActiveUpstream,
+		}
+	}
+	return m
 }
 
 // Synced reports whether the latest completed scan left nothing
@@ -281,6 +443,17 @@ func (p *Pusher) Close() {
 	})
 }
 
+// Kill stops the push loop without Close's final sweep — crash
+// semantics for fault drills: nothing further is pushed after Kill
+// returns. The spool persists; a restarted pusher resumes from it.
+func (p *Pusher) Kill() {
+	p.killed.Store(true)
+	p.once.Do(func() {
+		close(p.closing)
+		<-p.done
+	})
+}
+
 func (p *Pusher) run() {
 	defer close(p.done)
 	for {
@@ -294,7 +467,9 @@ func (p *Pusher) run() {
 		select {
 		case <-p.closing:
 			timer.Stop()
-			p.syncPass() // final sweep: push whatever the last checkpoint left
+			if !p.killed.Load() {
+				p.syncPass() // final sweep: push whatever the last checkpoint left
+			}
 			return
 		case <-p.trigger:
 			timer.Stop()
@@ -310,6 +485,7 @@ func (p *Pusher) syncPass() {
 	p.mu.Lock()
 	gen := p.notifyGen
 	p.mu.Unlock()
+	p.maybePromote()
 	segs, err := fed.Segments(p.cfg.Dir)
 	if err != nil {
 		p.fail(fmt.Sprintf("scan: %v", err))
@@ -381,10 +557,21 @@ func (p *Pusher) syncPass() {
 	p.mu.Unlock()
 }
 
-// pushSegment uploads one segment snapshot. Returns false only for
-// retryable failures (network errors, 5xx) — those raise the backoff;
-// local corruption and aggregator 4xx rejections resolve the segment
-// at its current size and push on.
+// pushOutcome classifies one upload attempt.
+type pushOutcome int
+
+const (
+	pushAcked    pushOutcome = iota // 2xx after a durable fold
+	pushRejected                    // 4xx: permanent for this content
+	pushRetry                       // network error or 5xx: delivery unknown
+)
+
+// pushSegment uploads one segment snapshot, trying upstreams in
+// priority order starting at the active one. Returns false only when
+// every upstream failed retryably (network errors, 5xx) — that raises
+// the backoff once and leaves the spool intact; local corruption and
+// aggregator 4xx rejections resolve the segment at its current size
+// and push on.
 func (p *Pusher) pushSegment(name string, st *segState) bool {
 	data, err := os.ReadFile(filepath.Join(p.cfg.Dir, name))
 	if err != nil {
@@ -408,55 +595,224 @@ func (p *Pusher) pushSegment(name string, st *segState) bool {
 		return true
 	}
 
+	var lastMsg string
+	for i := range p.ups {
+		idx := (p.active + i) % len(p.ups)
+		u := p.ups[idx]
+		outcome, wire, compressed, msg := p.pushTo(u, name, data)
+		switch outcome {
+		case pushAcked:
+			st.ackedSize = size
+			if !st.unackedSince.IsZero() {
+				p.ackLatNS.Observe(time.Since(st.unackedSince).Nanoseconds())
+				st.unackedSince = time.Time{}
+			}
+			if idx != p.active {
+				p.failoverTo(idx)
+			}
+			// Any successful push means the path is healthy again: the
+			// next failure backs off from BackoffMin, never from a
+			// previous outage's lingering ceiling.
+			p.backoff = 0
+			p.mu.Lock()
+			p.m.Acked++
+			p.m.RawBytes += uint64(size)
+			p.m.WireBytes += uint64(wire)
+			if compressed {
+				p.m.Compressed++
+			}
+			p.mu.Unlock()
+			return true
+		case pushRejected:
+			// Permanent for this content on a healthy upstream: the
+			// others would refuse it too. Skip (re-push only if the
+			// segment grows) and make the rejection visible.
+			p.reject(msg)
+			st.doneSize = size
+			return true
+		default:
+			u.retried.Inc()
+			p.mu.Lock()
+			p.m.Retried++
+			p.m.LastError = msg
+			p.mu.Unlock()
+			lastMsg = msg
+		}
+	}
+	// Every upstream failed: spool-and-forward. One backoff raise per
+	// pass regardless of fan-out width.
+	p.raiseBackoff(lastMsg)
+	return false
+}
+
+// pushTo delivers one segment body to one upstream, compressing per
+// the configured mode and the upstream's learned capability. A 4xx on
+// a compressed body earns one identity retry (a stale capability or a
+// downgraded aggregator must not turn into a permanent skip) before
+// the rejection stands.
+func (p *Pusher) pushTo(u *upstream, name string, data []byte) (pushOutcome, int, bool, string) {
+	useComp := p.cfg.Compression == CompressionOn ||
+		(p.cfg.Compression == CompressionAuto && u.compressSupported())
+	for {
+		body := data
+		if useComp {
+			if c := compressBytes(data); c != nil {
+				body = c
+			} else {
+				useComp = false
+			}
+		}
+		outcome, msg := p.attempt(u, name, body, useComp)
+		if outcome == pushRejected && useComp {
+			u.compressOK.Store(-1)
+			useComp = false
+			continue
+		}
+		return outcome, len(body), useComp, msg
+	}
+}
+
+// attempt is one HTTP exchange against one upstream.
+func (p *Pusher) attempt(u *upstream, name string, body []byte, compressed bool) (pushOutcome, string) {
 	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.URL, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.url, bytes.NewReader(body))
 	if err != nil {
-		p.reject(fmt.Sprintf("%s: %v", name, err))
-		st.doneSize = size
-		return true
+		return pushRejected, fmt.Sprintf("%s: %v", name, err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	req.Header.Set("X-Fed-Segment", name)
+	req.Header.Set(HeaderSegment, name)
+	if compressed {
+		req.Header.Set("Content-Encoding", compress.ContentEncoding)
+	}
+	hops, via := 1, []string(nil)
+	if p.cfg.Route != nil {
+		hops, via = p.cfg.Route()
+	}
+	req.Header.Set(HeaderHops, strconv.Itoa(hops))
+	if len(via) > 0 {
+		req.Header.Set(HeaderVia, strings.Join(via, ","))
+	}
 
+	u.pushed.Inc()
 	p.mu.Lock()
 	p.m.Pushed++
 	p.mu.Unlock()
 	t0 := time.Now()
 	resp, err := p.client.Do(req)
-	p.rttNS.Observe(time.Since(t0).Nanoseconds())
+	rtt := time.Since(t0).Nanoseconds()
+	p.rttNS.Observe(rtt)
+	u.rtt.Observe(rtt)
 	if err != nil {
-		p.fail(fmt.Sprintf("%s: %v", name, err))
+		return pushRetry, fmt.Sprintf("%s: %s: %v", name, u.url, err)
+	}
+	defer resp.Body.Close()
+	u.learn(resp)
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		u.acked.Inc()
+		return pushAcked, ""
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return pushRejected, fmt.Sprintf("%s: %s rejected (%s): %s", name, u.url, resp.Status, bytes.TrimSpace(excerpt))
+	default:
+		return pushRetry, fmt.Sprintf("%s: %s: aggregator %s", name, u.url, resp.Status)
+	}
+}
+
+// learn updates the upstream's advertised-encoding capability from a
+// response. Only responses that prove what the aggregator speaks are
+// trusted: a header names the supported encodings; a 2xx without one
+// is a pre-compression aggregator. Errors and 5xx (possibly synthetic,
+// from an LB or fault harness) teach nothing.
+func (u *upstream) learn(resp *http.Response) {
+	if hdr := resp.Header.Get(HeaderAcceptEncoding); hdr != "" {
+		for _, tok := range strings.Split(hdr, ",") {
+			if strings.TrimSpace(tok) == compress.ContentEncoding {
+				u.compressOK.Store(1)
+				return
+			}
+		}
+		u.compressOK.Store(-1)
+	} else if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		u.compressOK.Store(-1)
+	}
+}
+
+// compressBytes encodes data as one compressed push body (nil on the
+// never-expected encoder failure, which falls back to identity).
+func compressBytes(data []byte) []byte {
+	var buf bytes.Buffer
+	w := compress.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil
+	}
+	if err := w.Close(); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// maybePromote probes higher-priority upstreams when the pusher has
+// failed away from the head of the list, promoting back to the first
+// one that answers. Probes are plain GETs against the push URL: new
+// aggregators answer 204 (and advertise their encodings), old ones
+// 405 — any sub-5xx response proves liveness.
+func (p *Pusher) maybePromote() {
+	if len(p.ups) <= 1 || p.active == 0 || time.Since(p.lastProbe) < p.cfg.ProbeInterval {
+		return
+	}
+	p.lastProbe = time.Now()
+	for i := 0; i < p.active; i++ {
+		if p.probe(p.ups[i]) {
+			p.failoverTo(i)
+			return
+		}
+	}
+}
+
+func (p *Pusher) probe(u *upstream) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
 		return false
 	}
 	defer resp.Body.Close()
-	switch {
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		st.ackedSize = size
-		if !st.unackedSince.IsZero() {
-			p.ackLatNS.Observe(time.Since(st.unackedSince).Nanoseconds())
-			st.unackedSince = time.Time{}
-		}
-		p.mu.Lock()
-		p.m.Acked++
-		p.mu.Unlock()
-		return true
-	case resp.StatusCode >= 400 && resp.StatusCode < 500:
-		// Permanent for this content: the aggregator will refuse it
-		// tomorrow too. Skip (re-push only if the segment grows) and
-		// make the rejection visible.
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		p.reject(fmt.Sprintf("%s: aggregator rejected (%s): %s", name, resp.Status, bytes.TrimSpace(body)))
-		st.doneSize = size
-		return true
-	default:
-		p.fail(fmt.Sprintf("%s: aggregator %s", name, resp.Status))
-		return false
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	u.learn(resp)
+	return resp.StatusCode < 500
+}
+
+// failoverTo switches the active upstream (both demotion after a
+// failed push and probe-driven promotion land here).
+func (p *Pusher) failoverTo(idx int) {
+	if idx == p.active {
+		return
 	}
+	p.active = idx
+	u := p.ups[idx]
+	u.failovers.Inc()
+	p.mu.Lock()
+	p.m.Failovers++
+	p.m.ActiveUpstream = u.url
+	p.mu.Unlock()
 }
 
 // fail records a retryable failure and raises the backoff.
 func (p *Pusher) fail(msg string) {
+	p.mu.Lock()
+	p.m.Retried++
+	p.mu.Unlock()
+	p.raiseBackoff(msg)
+}
+
+// raiseBackoff doubles the retry backoff toward the ceiling.
+func (p *Pusher) raiseBackoff(msg string) {
 	if p.backoff == 0 {
 		p.backoff = p.cfg.BackoffMin
 	} else {
@@ -466,7 +822,6 @@ func (p *Pusher) fail(msg string) {
 		}
 	}
 	p.mu.Lock()
-	p.m.Retried++
 	p.m.Backoff = p.backoff
 	p.m.LastError = msg
 	p.mu.Unlock()

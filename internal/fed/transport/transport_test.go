@@ -17,6 +17,7 @@ import (
 
 	"semnids/internal/core"
 	"semnids/internal/fed"
+	"semnids/internal/fed/compress"
 	"semnids/internal/fed/transport/faultnet"
 	"semnids/internal/incident"
 )
@@ -122,6 +123,18 @@ func post(t testing.TB, url string, body []byte) int {
 	return resp.StatusCode
 }
 
+// testCompression is the suite-wide push encoding: CI reruns the whole
+// transport fault suite with SEMNIDS_PUSH_COMPRESSION=on so every
+// convergence property is proven over compressed bodies too.
+func testCompression(t testing.TB) Compression {
+	t.Helper()
+	comp, err := ParseCompression(os.Getenv("SEMNIDS_PUSH_COMPRESSION"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
 // fastPusher starts a pusher tuned for test cadence.
 func fastPusher(t testing.TB, dir, url string, client *http.Client) *Pusher {
 	t.Helper()
@@ -134,6 +147,7 @@ func fastPusher(t testing.TB, dir, url string, client *http.Client) *Pusher {
 		BackoffMin:     5 * time.Millisecond,
 		BackoffMax:     40 * time.Millisecond,
 		Seed:           1,
+		Compression:    testCompression(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -166,10 +180,21 @@ func TestAggregatorStatuses(t *testing.T) {
 	ex := synthExport(t, "sensor-a", 1, 300)
 	data := encode(t, ex)
 
+	// GET is the health probe: 204, stamped with the aggregator's
+	// identity and the encodings it accepts.
 	if resp, err := http.Get(srv.URL); err != nil {
 		t.Fatal(err)
-	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET = %d, want 405", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Errorf("GET = %d, want 204", resp.StatusCode)
+		}
+		if got := resp.Header.Get(HeaderAcceptEncoding); got != compress.ContentEncoding {
+			t.Errorf("probe %s = %q, want %q", HeaderAcceptEncoding, got, compress.ContentEncoding)
+		}
+		if got := resp.Header.Get(HeaderNode); got == "" {
+			t.Errorf("probe response missing %s", HeaderNode)
+		}
 	}
 	if got := post(t, srv.URL, []byte("not a segment")); got != http.StatusBadRequest {
 		t.Errorf("garbage body = %d, want 400", got)

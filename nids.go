@@ -303,6 +303,18 @@ type EngineConfig struct {
 	// IncidentExportDir.
 	PushURL string
 
+	// PushURLs lists upstream aggregators in failover order: pushes go
+	// to the first, and on sustained failure the pusher fails over down
+	// the list, probing earlier entries for promotion back. Setting
+	// both PushURL and PushURLs is an error; a one-element PushURLs is
+	// equivalent to PushURL.
+	PushURLs []string
+
+	// PushCompression selects the push body encoding: "auto" (default;
+	// compress once the upstream advertises support), "on" (always
+	// compress), or "off" (identity only).
+	PushCompression string
+
 	// PushInterval is the pusher's idle spool re-scan cadence (default
 	// 2s); PushTimeout bounds one upload end to end (default 10s);
 	// PushBackoffMin / PushBackoffMax bound the jittered exponential
@@ -527,7 +539,20 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			corrPublish(ev)
 		}
 	}
-	if cfg.PushURL != "" && (!cfg.Correlate || cfg.IncidentExportDir == "") {
+	if cfg.PushURL != "" && len(cfg.PushURLs) > 0 {
+		e.shutdownPartial()
+		return nil, fmt.Errorf("nids: set PushURL or PushURLs, not both")
+	}
+	pushURLs := cfg.PushURLs
+	if cfg.PushURL != "" {
+		pushURLs = []string{cfg.PushURL}
+	}
+	pushComp, err := transport.ParseCompression(cfg.PushCompression)
+	if err != nil {
+		e.shutdownPartial()
+		return nil, fmt.Errorf("nids: %w", err)
+	}
+	if len(pushURLs) > 0 && (!cfg.Correlate || cfg.IncidentExportDir == "") {
 		e.shutdownPartial()
 		return nil, fmt.Errorf("nids: PushURL requires Correlate and IncidentExportDir (the sink's segment directory is the push spool)")
 	}
@@ -568,16 +593,17 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		}
 		e.sink.Store(sink)
 		e.health.Set("spool", true, "recovered")
-		if cfg.PushURL != "" {
+		if len(pushURLs) > 0 {
 			push, err := transport.NewPusher(transport.PusherConfig{
 				Dir:            cfg.IncidentExportDir,
-				URL:            cfg.PushURL,
+				URLs:           pushURLs,
 				Client:         cfg.PushClient,
 				RequestTimeout: cfg.PushTimeout,
 				ScanInterval:   cfg.PushInterval,
 				BackoffMin:     cfg.PushBackoffMin,
 				BackoffMax:     cfg.PushBackoffMax,
 				Seed:           cfg.PushSeed,
+				Compression:    pushComp,
 				Telemetry:      tel,
 			})
 			if err != nil {
