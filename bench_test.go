@@ -335,6 +335,86 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughputUDP measures datagram-flow throughput: the
+// IoT botnet trace (CoAP sensor chatter plus block-split exploit
+// deliveries) with datagram flows on and classification disabled, so
+// every datagram joins a buffered conversation. The tight idle window
+// keeps conversation state from accumulating across iterations (the
+// trace clock stops at trace end, so only the window bounds carryover).
+// Detection is asserted — a run that stops reassembling the block
+// transfer fails rather than reporting a flattering number.
+func BenchmarkEngineThroughputUDP(b *testing.B) {
+	pkts := traffic.IoTBotnet(traffic.IoTSpec{Seed: 9, Generations: 2, FanoutPerHost: 3, BenignSessions: 6})
+	var total int64
+	for _, p := range pkts {
+		total += int64(len(p.Payload))
+	}
+	assertDecodeLoop := func(b *testing.B, e *engine.Engine) {
+		b.StopTimer()
+		for _, a := range e.Alerts() {
+			if a.Detection.Template == "xor-decrypt-loop" {
+				return
+			}
+		}
+		b.Fatal("engine missed the block-split decryption loop")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		cfg := engine.Config{
+			Classify:          classify.Config{Disabled: true},
+			Shards:            shards,
+			VerdictCacheSize:  -1,
+			DatagramFlows:     true,
+			DatagramIdleUS:    1e6,
+			FlowIdleTimeoutUS: 60e6,
+		}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			e := engine.New(cfg)
+			defer e.Stop()
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkts {
+					e.Process(p)
+				}
+				e.Drain()
+			}
+			assertDecodeLoop(b, e)
+		})
+		b.Run(fmt.Sprintf("shards-%d/parallel", shards), func(b *testing.B) {
+			e := engine.New(cfg)
+			defer e.Stop()
+			// Partition by the conversation-canonical key so each UDP
+			// exchange stays on one feeder, preserving per-flow order.
+			parts := make([][]*netpkt.Packet, shards)
+			for _, p := range pkts {
+				fi := engine.FlowHash(p.Flow().Canonical(), shards)
+				parts[fi] = append(parts[fi], p)
+			}
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for fi := range parts {
+					wg.Add(1)
+					go func(part []*netpkt.Packet) {
+						defer wg.Done()
+						f := e.NewFeeder()
+						for _, p := range part {
+							f.Process(p)
+						}
+						f.Flush()
+					}(parts[fi])
+				}
+				wg.Wait()
+				e.Drain()
+			}
+			assertDecodeLoop(b, e)
+		})
+	}
+}
+
 // BenchmarkEngineThroughputTelemetry is the telemetry-overhead
 // ablation: the BenchmarkEngineThroughput serial workload with a
 // registry attached and the Prometheus exposition rendered every

@@ -6,6 +6,7 @@
 //	semnids -pcap trace.pcap [-honeypot 192.168.1.250] [-dark 192.168.2.0/24]
 //	        [-all] [-fullscan] [-workers N]
 //	semnids -pcap trace.pcap -stream [-shards N] [-shed] [-replay] [-speed X]
+//	        [-udp-flows] [-udp-idle 10s]
 //	        [-correlate] [-incident-window 30s] [-stats]
 //	        [-sensor ID] [-export FILE] [-import-incidents FILE] [-export-dir DIR]
 //	        [-export-keep N] [-push URL] [-push-wait 5s]
@@ -106,6 +107,8 @@ func run() int {
 		tplFile      = flag.String("templates", "", "replace built-in templates with a template file (DSL)")
 		stream       = flag.Bool("stream", false, "run the sharded streaming engine instead of the batch pipeline")
 		shards       = flag.Int("shards", 0, "ingest shards for -stream (0 = NumCPU)")
+		udpFlows     = flag.Bool("udp-flows", false, "buffer UDP conversations per 5-tuple and analyze them as flows, reassembling CoAP block transfers (implies -stream)")
+		udpIdle      = flag.Duration("udp-idle", 0, "idle window closing a UDP conversation (0 = flow idle timeout; with -udp-flows)")
 		shed         = flag.Bool("shed", false, "shed packets under overload instead of blocking (with -stream)")
 		replay       = flag.Bool("replay", false, "pace packets by capture timestamp (with -stream)")
 		speed        = flag.Float64("speed", 1, "replay speed multiplier: 1 = real time (with -replay)")
@@ -190,12 +193,13 @@ func run() int {
 	if *exportPath != "" || *importPath != "" || *exportDir != "" || *pushURL != "" || *lineageOn {
 		*correlate = true
 	}
-	if *listen != "" || *statsEvery > 0 {
+	if *listen != "" || *statsEvery > 0 || *udpFlows {
 		*stream = true
 	}
 	if *stream || *correlate {
 		return runEngine(cfg, *pcapPath, engineOpts{
 			shards: *shards, shed: *shed, replay: *replay, speed: *speed,
+			udpFlows: *udpFlows, udpIdle: *udpIdle,
 			jsonOut: *jsonOut, summary: *summary, stats: *stats,
 			correlate: *correlate, incidentWindow: *incWindow,
 			lineage: *lineageOn,
@@ -246,6 +250,8 @@ func run() int {
 type engineOpts struct {
 	shards         int
 	shed           bool
+	udpFlows       bool
+	udpIdle        time.Duration
 	replay         bool
 	speed          float64
 	jsonOut        bool
@@ -287,6 +293,8 @@ func runEngine(cfg nids.Config, pcapPath string, opts engineOpts) int {
 		Config:               cfg,
 		Shards:               opts.shards,
 		ShedOnOverload:       opts.shed,
+		DatagramFlows:        opts.udpFlows,
+		DatagramIdle:         opts.udpIdle,
 		Correlate:            opts.correlate,
 		Lineage:              opts.lineage,
 		IncidentWindow:       opts.incidentWindow,

@@ -11,11 +11,19 @@
 // workload for `semnids -lineage`, where only structural fingerprints
 // can still tie the hops into one infection tree.
 //
+// With -iot, the outbreak propagates over UDP instead: infected
+// devices probe dark space with CoAP discovery requests and deliver
+// the exploit body as RFC 7959 Block1 firmware transfers, 16 bytes
+// per datagram, amid benign CoAP sensor chatter — the workload for
+// `semnids -udp-flows`, where only datagram-flow reassembly exposes
+// the split payload.
+//
 // Usage:
 //
 //	trafficgen -o trace.pcap -sessions 5000 -codered 4 -seed 7
 //	trafficgen -o worm.pcap -worm 3 -fanout 2 -seed 7
 //	trafficgen -o mutated.pcap -polymorph 3 -fanout 2 -seed 7
+//	trafficgen -o iot.pcap -iot 2 -fanout 2 -seed 7
 package main
 
 import (
@@ -34,6 +42,7 @@ func main() {
 		codered  = flag.Int("codered", 0, "Code Red II instances to mix in")
 		worm     = flag.Int("worm", 0, "generate a propagating outbreak with this many generations instead")
 		poly     = flag.Int("polymorph", 0, "generate a polymorphic outbreak (per-hop re-encoded payloads) with this many generations instead")
+		iot      = flag.Int("iot", 0, "generate a CoAP-over-UDP IoT botnet (block-split payload deliveries) with this many generations instead")
 		fanout   = flag.Int("fanout", 2, "victims infected per host (with -worm/-polymorph)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 	)
@@ -54,6 +63,36 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *iot > 0 {
+		spec := traffic.IoTSpec{
+			Seed:          *seed,
+			Generations:   *iot,
+			FanoutPerHost: *fanout,
+		}
+		if sessionsSet {
+			if *sessions == 0 {
+				spec.BenignSessions = -1
+			} else {
+				spec.BenignSessions = *sessions
+			}
+		}
+		pkts := traffic.IoTBotnet(spec)
+		w, err := netpkt.NewPcapWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+			os.Exit(1)
+		}
+		for _, p := range pkts {
+			if err := w.WritePacket(p); err != nil {
+				fmt.Fprintln(os.Stderr, "trafficgen:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d packets (IoT botnet: %d generations, fanout %d) to %s\n",
+			w.Count(), *iot, *fanout, *out)
+		return
+	}
 
 	if *poly > 0 {
 		spec := traffic.PolymorphSpec{

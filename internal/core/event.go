@@ -45,7 +45,9 @@ type EventKind uint8
 
 const (
 	// EventFlowOpen: a selected flow was first observed (TCP: first
-	// packet of a tracked stream; UDP: each analyzed datagram's flow).
+	// packet of a tracked stream; UDP: the first payload-bearing
+	// datagram of a conversation direction, re-emitted after the idle
+	// window expires the flow — never once per datagram).
 	EventFlowOpen EventKind = iota
 	// EventAlert: a detection was emitted. Fingerprint identifies the
 	// frame that matched, linking the alert to later re-emissions of

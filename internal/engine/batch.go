@@ -77,7 +77,17 @@ func (f *Feeder) Process(p *netpkt.Packet) {
 		f.maxTS = p.TimestampUS
 	}
 
-	si := shardIndex(p.Flow(), len(e.shards))
+	// UDP dispatches on the conversation-canonical key so both
+	// directions of one exchange land on the same shard — a datagram
+	// flow's request and reply must share the shard's flow view. TCP
+	// keeps directional dispatch (each direction is reassembled
+	// independently). Shard assignment never affects report content,
+	// so this holds with datagram flows off too.
+	k := p.Flow()
+	if p.HasUDP {
+		k = k.Canonical()
+	}
+	si := shardIndex(k, len(e.shards))
 	s := e.shards[si]
 	b := f.pending[si]
 	if b == nil {

@@ -100,6 +100,23 @@ type Config struct {
 	// beyond it (default 64 MiB).
 	ShardByteBudget int
 
+	// DatagramFlows enables conversation tracking for non-TCP traffic:
+	// each direction of a datagram exchange accumulates into an
+	// idle-windowed buffer (with per-datagram boundaries preserved)
+	// that is concatenated-and-swept like a TCP stream, so payload
+	// spread across many datagrams — CoAP block transfers, chunked DNS
+	// abuse — is analyzed whole. Off by default: single-datagram
+	// analysis behavior is then byte-identical to prior releases.
+	DatagramFlows bool
+
+	// DatagramIdleUS is the idle window for datagram conversations in
+	// trace microseconds: a datagram flow quiet this long is evicted
+	// (its buffered tail analyzed first). Defaults to
+	// FlowIdleTimeoutUS; set lower to expire chatty short exchanges
+	// ahead of TCP flows. Also bounds the flow-open dedup window when
+	// DatagramFlows is off.
+	DatagramIdleUS uint64
+
 	// VerdictCacheSize is the payload-fingerprint cache capacity in
 	// entries: 0 selects the default (8192), negative disables the
 	// cache.
@@ -164,7 +181,10 @@ type Metrics struct {
 
 	// FlowsEvictedIdle and FlowsEvictedLRU count tick evictions (the
 	// evicted flows' unanalyzed tails were analyzed first).
-	FlowsEvictedIdle, FlowsEvictedLRU uint64
+	// FlowsEvictedUDPIdle counts datagram flows expired by the
+	// dedicated datagram idle window (DatagramIdleUS tighter than
+	// FlowIdleTimeoutUS).
+	FlowsEvictedIdle, FlowsEvictedLRU, FlowsEvictedUDPIdle uint64
 
 	// CacheRejected counts inserts the verdict cache's TinyLFU
 	// admission policy refused (one-shot payloads kept from churning
@@ -178,9 +198,13 @@ type Metrics struct {
 
 	// FlowsActive and BufferedBytes are gauges summed over shards;
 	// CacheEntries is the verdict cache's current size.
-	FlowsActive   int
-	BufferedBytes int
-	CacheEntries  int
+	// UDPFlowsActive and UDPBufferedBytes are the datagram-flow subset
+	// of those gauges (zero with DatagramFlows off).
+	FlowsActive      int
+	BufferedBytes    int
+	UDPFlowsActive   int
+	UDPBufferedBytes int
+	CacheEntries     int
 
 	// Shards holds per-shard load gauges, indexed by shard id — the
 	// overload early-warning: queue depth climbing toward capacity
@@ -232,6 +256,7 @@ type Engine struct {
 		streams, frames, frameBytes, alerts atomic.Uint64
 		cacheHits, cacheMisses              atomic.Uint64
 		evictedIdle, evictedLRU             atomic.Uint64
+		evictedDgram                        atomic.Uint64
 		sketches                            atomic.Uint64
 	}
 
@@ -276,6 +301,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.FlowIdleTimeoutUS == 0 {
 		cfg.FlowIdleTimeoutUS = 60e6
+	}
+	if cfg.DatagramIdleUS == 0 {
+		cfg.DatagramIdleUS = cfg.FlowIdleTimeoutUS
 	}
 	if cfg.TickIntervalUS == 0 {
 		cfg.TickIntervalUS = 1e6
@@ -345,6 +373,9 @@ func (e *Engine) registerTelemetry() {
 	cf("semnids_engine_cache_misses_total", "Verdict-cache misses (analysis ran).", &e.m.cacheMisses)
 	cf(`semnids_engine_flows_evicted_total{reason="idle"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedIdle)
 	cf(`semnids_engine_flows_evicted_total{reason="lru"}`, "Flows evicted by lifecycle ticks.", &e.m.evictedLRU)
+	if e.cfg.DatagramFlows {
+		cf(`semnids_engine_flows_evicted_total{reason="udp-idle"}`, "Datagram flows expired by the datagram idle window.", &e.m.evictedDgram)
+	}
 	if e.cfg.Lineage {
 		cf("semnids_lineage_sketches_total", "Structural-fingerprint computations (detected frames sketched).", &e.m.sketches)
 	}
@@ -366,6 +397,22 @@ func (e *Engine) registerTelemetry() {
 		}
 		return n
 	})
+	if e.cfg.DatagramFlows {
+		reg.GaugeFunc("semnids_engine_udp_flows_active", "Tracked datagram flows summed over shards.", func() int64 {
+			var n int64
+			for _, s := range e.shards {
+				n += s.dgramFlows.Load()
+			}
+			return n
+		})
+		reg.GaugeFunc("semnids_engine_udp_buffered_bytes", "Datagram-flow bytes buffered, summed over shards.", func() int64 {
+			var n int64
+			for _, s := range e.shards {
+				n += s.dgramBytes.Load()
+			}
+			return n
+		})
+	}
 	for _, s := range e.shards {
 		s := s
 		id := strconv.Itoa(s.id)
@@ -497,23 +544,26 @@ func (e *Engine) Alerts() []core.Alert {
 // Snapshot returns current counters and gauges.
 func (e *Engine) Snapshot() Metrics {
 	m := Metrics{
-		Packets:          e.m.packets.Load(),
-		Selected:         e.m.selected.Load(),
-		Dropped:          e.m.dropped.Load(),
-		StreamsAnalyzed:  e.m.streams.Load(),
-		Frames:           e.m.frames.Load(),
-		FrameBytes:       e.m.frameBytes.Load(),
-		Alerts:           e.m.alerts.Load(),
-		CacheHits:        e.m.cacheHits.Load(),
-		CacheMisses:      e.m.cacheMisses.Load(),
-		FlowsEvictedIdle: e.m.evictedIdle.Load(),
-		FlowsEvictedLRU:  e.m.evictedLRU.Load(),
-		Sketches:         e.m.sketches.Load(),
+		Packets:             e.m.packets.Load(),
+		Selected:            e.m.selected.Load(),
+		Dropped:             e.m.dropped.Load(),
+		StreamsAnalyzed:     e.m.streams.Load(),
+		Frames:              e.m.frames.Load(),
+		FrameBytes:          e.m.frameBytes.Load(),
+		Alerts:              e.m.alerts.Load(),
+		CacheHits:           e.m.cacheHits.Load(),
+		CacheMisses:         e.m.cacheMisses.Load(),
+		FlowsEvictedIdle:    e.m.evictedIdle.Load(),
+		FlowsEvictedLRU:     e.m.evictedLRU.Load(),
+		FlowsEvictedUDPIdle: e.m.evictedDgram.Load(),
+		Sketches:            e.m.sketches.Load(),
 	}
 	m.Shards = make([]ShardMetrics, len(e.shards))
 	for i, s := range e.shards {
 		m.FlowsActive += int(s.flows.Load())
 		m.BufferedBytes += int(s.bytes.Load())
+		m.UDPFlowsActive += int(s.dgramFlows.Load())
+		m.UDPBufferedBytes += int(s.dgramBytes.Load())
 		// queued accounting is exact: incremented before a batch is
 		// sent, decremented per packet as each completes, so the load
 		// is never negative and needs no clamp.

@@ -63,6 +63,14 @@ type shard struct {
 	meta         map[netpkt.FlowKey]flowInfo
 	seen         map[alertKey]bool
 
+	// dgramSeen deduplicates flow-open events for untracked datagram
+	// traffic (DatagramFlows off): one event per conversation
+	// direction per idle window, instead of one per datagram — a UDP
+	// scan flood used to emit a flow-open for every probe into the
+	// correlator's bounded channel. Maintained only when an event tap
+	// is attached; swept by the lifecycle tick.
+	dgramSeen map[netpkt.FlowKey]uint64
+
 	maxTS    uint64 // highest trace timestamp seen by this shard
 	lastTick uint64
 
@@ -71,10 +79,17 @@ type shard struct {
 	tickPackets uint64
 
 	// Gauges published for Snapshot (read from other goroutines).
-	flows   atomic.Int64
-	bytes   atomic.Int64
-	ewmaPPS atomic.Uint64 // math.Float64bits of trace-time packets/sec
+	flows      atomic.Int64
+	bytes      atomic.Int64
+	dgramFlows atomic.Int64
+	dgramBytes atomic.Int64
+	ewmaPPS    atomic.Uint64 // math.Float64bits of trace-time packets/sec
 }
+
+// maxDgramSeen caps the flow-open dedup map; past it the map resets
+// (re-emission is harmless: the correlator deduplicates fan-out
+// evidence by destination) rather than growing without bound.
+const maxDgramSeen = 1 << 16
 
 func newShard(e *Engine, id int) *shard {
 	batchCap := e.cfg.BatchSize
@@ -93,6 +108,7 @@ func newShard(e *Engine, id int) *shard {
 		lastAnalyzed: make(map[netpkt.FlowKey]int),
 		meta:         make(map[netpkt.FlowKey]flowInfo),
 		seen:         make(map[alertKey]bool),
+		dgramSeen:    make(map[netpkt.FlowKey]uint64),
 	}
 	for i := 0; i < cap(s.free); i++ {
 		s.free <- &pktBatch{entries: make([]batchEntry, 0, batchCap)}
@@ -105,7 +121,11 @@ func newShard(e *Engine, id int) *shard {
 	s.asm.SetEvictHandler(func(st *reasm.Stream) {
 		if len(st.Data) > s.lastAnalyzed[st.Key] {
 			info := s.meta[st.Key]
-			s.analyze(st.Data, st.Key, info.reason, info.ts)
+			if st.Dgram {
+				s.analyzeDgram(st, info.reason, info.ts)
+			} else {
+				s.analyze(st.Data, st.Key, info.reason, info.ts)
+			}
 		}
 		delete(s.lastAnalyzed, st.Key)
 		delete(s.meta, st.Key)
@@ -144,11 +164,15 @@ func (s *shard) run() {
 		}
 		s.flows.Store(int64(s.asm.FlowCount()))
 		s.bytes.Store(int64(s.asm.TotalBytes()))
+		s.dgramFlows.Store(int64(s.asm.DgramFlowCount()))
+		s.dgramBytes.Store(int64(s.asm.DgramBytes()))
 	}
 	// Queue closed (Stop): analyze what remains before exiting.
 	s.flushFlows()
 	s.flows.Store(0)
 	s.bytes.Store(0)
+	s.dgramFlows.Store(0)
+	s.dgramBytes.Store(0)
 }
 
 // handle pushes one selected packet through reassembly and analysis —
@@ -161,13 +185,7 @@ func (s *shard) handle(p *netpkt.Packet, reason classify.Reason) {
 	defer s.maybeTick()
 
 	if !p.HasTCP {
-		if len(p.Payload) > 0 {
-			// Datagrams have no tracked lifecycle: each one stands for
-			// its flow in the correlator's fan-out evidence (which
-			// deduplicates by destination).
-			s.tapFlowOpen(p.Flow(), p.TimestampUS)
-			s.analyze(p.Payload, p.Flow(), reason, p.TimestampUS)
-		}
+		s.handleDatagram(p, reason)
 		return
 	}
 
@@ -203,6 +221,48 @@ func (s *shard) handle(p *netpkt.Packet, reason classify.Reason) {
 	}
 }
 
+// handleDatagram is the non-TCP arm of handle. Without datagram flows
+// each payload-bearing datagram is analyzed on its own, exactly as
+// before — but the flow-open event is published once per conversation
+// direction per idle window (dgramSeen), not once per datagram. With
+// datagram flows on, the payload joins its flow's idle-windowed buffer
+// (boundaries preserved) and is swept like a TCP stream; flow-open
+// then follows the TCP discipline — once per tracked flow, re-emitted
+// after eviction, because eviction deletes the meta entry.
+func (s *shard) handleDatagram(p *netpkt.Packet, reason classify.Reason) {
+	if len(p.Payload) == 0 {
+		return
+	}
+	flow := p.Flow()
+	if !s.eng.cfg.DatagramFlows {
+		if s.eng.cfg.OnEvent != nil {
+			if _, seen := s.dgramSeen[flow]; !seen {
+				s.tapFlowOpen(flow, p.TimestampUS)
+			}
+			if len(s.dgramSeen) >= maxDgramSeen {
+				clear(s.dgramSeen)
+			}
+			s.dgramSeen[flow] = p.TimestampUS
+		}
+		s.analyze(p.Payload, flow, reason, p.TimestampUS)
+		return
+	}
+	if s.eng.cfg.OnEvent != nil {
+		if _, tracked := s.meta[flow]; !tracked {
+			s.tapFlowOpen(flow, p.TimestampUS)
+		}
+	}
+	s.meta[flow] = flowInfo{reason: reason, ts: p.TimestampUS}
+	stream := s.asm.FeedDatagram(flow, p.Payload, p.TimestampUS)
+	if stream == nil {
+		return
+	}
+	if core.ShouldAnalyze(false, len(stream.Data), s.lastAnalyzed[flow], s.eng.cfg.MinAnalyzeBytes) {
+		s.lastAnalyzed[flow] = len(stream.Data)
+		s.analyzeDgram(stream, reason, p.TimestampUS)
+	}
+}
+
 // maybeTick runs the flow-lifecycle maintenance pass once per
 // configured interval of trace time: idle flows first (tail-analyzed
 // via the evict handler), then LRU eviction down to the byte budget.
@@ -218,6 +278,21 @@ func (s *shard) maybeTick() {
 	if s.maxTS > cfg.FlowIdleTimeoutUS {
 		n := s.asm.EvictIdle(s.maxTS - cfg.FlowIdleTimeoutUS)
 		s.eng.m.evictedIdle.Add(uint64(n))
+	}
+	if cfg.DatagramFlows && cfg.DatagramIdleUS < cfg.FlowIdleTimeoutUS && s.maxTS > cfg.DatagramIdleUS {
+		// The tighter datagram window expires quiet conversations ahead
+		// of the flow-wide timeout (tails analyzed via the evict
+		// handler, like any eviction).
+		n := s.asm.EvictDgramIdle(s.maxTS - cfg.DatagramIdleUS)
+		s.eng.m.evictedDgram.Add(uint64(n))
+	}
+	if len(s.dgramSeen) > 0 && s.maxTS > cfg.DatagramIdleUS {
+		cutoff := s.maxTS - cfg.DatagramIdleUS
+		for k, last := range s.dgramSeen {
+			if last < cutoff {
+				delete(s.dgramSeen, k)
+			}
+		}
 	}
 	n := s.asm.EvictLRUUntil(cfg.ShardByteBudget)
 	s.eng.m.evictedLRU.Add(uint64(n))
@@ -258,13 +333,18 @@ func (s *shard) flushFlows() {
 	for _, st := range s.asm.Drain() {
 		if len(st.Data) > s.lastAnalyzed[st.Key] {
 			info := s.meta[st.Key]
-			s.analyze(st.Data, st.Key, info.reason, info.ts)
+			if st.Dgram {
+				s.analyzeDgram(st, info.reason, info.ts)
+			} else {
+				s.analyze(st.Data, st.Key, info.reason, info.ts)
+			}
 		}
 		s.asm.Recycle(st.Data)
 	}
 	clear(s.lastAnalyzed)
 	clear(s.meta)
 	clear(s.seen)
+	clear(s.dgramSeen)
 }
 
 // analyze runs extraction (or, in FullScan mode, forwards the whole
@@ -280,6 +360,25 @@ func (s *shard) analyze(data []byte, flow netpkt.FlowKey, reason classify.Reason
 	}
 	for _, f := range extract.Extract(data) {
 		s.analyzeFrame(f, flow, reason, ts)
+	}
+}
+
+// analyzeDgram is analyze for a datagram-flow view: extraction walks
+// the concatenation with its datagram boundaries, so
+// boundary-sensitive carriers (CoAP) are parsed message by message and
+// block transfers reassembled. A single-datagram flow takes exactly
+// the Extract path analyze would.
+func (s *shard) analyzeDgram(st *reasm.Stream, reason classify.Reason, ts uint64) {
+	if len(st.Data) == 0 {
+		return
+	}
+	s.eng.m.streams.Add(1)
+	if s.eng.cfg.FullScan {
+		s.analyzeFrame(extract.Frame{Data: st.Data, Source: "fullscan"}, st.Key, reason, ts)
+		return
+	}
+	for _, f := range extract.ExtractDatagrams(st.Data, st.Bounds) {
+		s.analyzeFrame(f, st.Key, reason, ts)
 	}
 }
 

@@ -34,3 +34,43 @@ func FuzzDecodePercentU(f *testing.F) {
 		}
 	})
 }
+
+func FuzzParseCoAP(f *testing.F) {
+	f.Add([]byte{0x44, 0x01, 0x30, 0x39, 1, 2, 3, 4, 0xbb, '.', 'w', 'e', 'l', 'l', '-', 'k', 'n', 'o', 'w', 'n'})
+	f.Add([]byte{0x44, 0x03, 0x00, 0x07, 9, 8, 7, 6, 0xd1, 0x0e, 0x08, 0xff, 0x90, 0x90})
+	f.Add([]byte{0x40, 0x00, 0x12, 0x34})
+	f.Add([]byte{0x7f, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, ok := parseCoAP(b)
+		if !ok {
+			return
+		}
+		if len(m.token) > 8 {
+			t.Fatalf("token of %d bytes accepted", len(m.token))
+		}
+		if len(m.payload) > 0 {
+			if m.payloadOff <= 0 || m.payloadOff+len(m.payload) != len(b) {
+				t.Fatalf("payload bounds: off=%d len=%d of %d", m.payloadOff, len(m.payload), len(b))
+			}
+		}
+	})
+}
+
+func FuzzExtractDatagrams(f *testing.F) {
+	f.Add([]byte{0x44, 0x03, 0x00, 0x07, 9, 8, 7, 6, 0xff, 0x90, 0x90, 0x44, 0x03, 0x00, 0x08, 9, 8, 7, 6, 0xff, 0x31, 0xc0}, 11)
+	f.Add([]byte("not coap at all, just text split in two"), 9)
+	f.Fuzz(func(t *testing.T, b []byte, split int) {
+		bounds := []int{0}
+		if split > 0 && split < len(b) {
+			bounds = append(bounds, split)
+		}
+		for _, fr := range ExtractDatagrams(b, bounds) {
+			if len(fr.Data) > MaxFrameBytes {
+				t.Fatalf("frame exceeds cap: %d", len(fr.Data))
+			}
+			if fr.Source == "" {
+				t.Fatal("frame without source label")
+			}
+		}
+	})
+}

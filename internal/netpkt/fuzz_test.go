@@ -15,6 +15,14 @@ func FuzzParse(f *testing.F) {
 		Payload: []byte("x"),
 	}
 	f.Add(p.Serialize())
+	u := &Packet{
+		SrcIP: mustAddr("10.0.0.3"), DstIP: mustAddr("10.0.0.4"),
+		Proto: ProtoUDP, HasUDP: true, SrcPort: 5683, DstPort: 5683,
+		Payload: []byte("block transfer payload bytes"),
+	}
+	uf := u.Serialize()
+	f.Add(uf)
+	f.Add(uf[:len(uf)-9]) // snaplen-clipped datagram: truncated-prefix path
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		pkt, err := Parse(b)

@@ -79,6 +79,13 @@ type Packet struct {
 	// Application payload.
 	Payload []byte
 
+	// Truncated reports that the capture clipped the packet short of
+	// what its length fields promise (snaplen cuts): Payload holds the
+	// captured prefix only. Set for UDP, where a prefix is still
+	// analyzable; clipped TCP segments are rejected at parse instead
+	// because a short segment would corrupt stream reassembly.
+	Truncated bool
+
 	// Timestamp in microseconds since the trace epoch.
 	TimestampUS uint64
 
@@ -108,6 +115,18 @@ func (p *Packet) Flow() FlowKey {
 // Reverse returns the opposite direction's key.
 func (k FlowKey) Reverse() FlowKey {
 	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Canonical returns the direction-independent form of the key: the
+// endpoint that sorts lower (by address, then port) becomes the
+// source, so both directions of one conversation map to the same
+// value. Shard dispatch for datagram flows keys on this — a request
+// and its reply must land on the same shard.
+func (k FlowKey) Canonical() FlowKey {
+	if c := k.SrcIP.Compare(k.DstIP); c > 0 || (c == 0 && k.SrcPort > k.DstPort) {
+		return k.Reverse()
+	}
+	return k
 }
 
 func (k FlowKey) String() string {
@@ -249,8 +268,21 @@ func parseInto(p *Packet, frame []byte) error {
 		return ErrBadLength
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
-	if totalLen < ihl || totalLen > len(ip) {
+	if totalLen < ihl {
 		return ErrBadLength
+	}
+	p.Truncated = false
+	if totalLen > len(ip) {
+		// The capture clipped the packet (snaplen) short of what the
+		// IP header promises. A UDP datagram has no framing below the
+		// transport header, so the captured prefix is still worth
+		// delivering; for anything else a short packet would corrupt
+		// downstream reassembly, so keep the hard reject.
+		if ip[9] != ProtoUDP {
+			return ErrBadLength
+		}
+		totalLen = len(ip)
+		p.Truncated = true
 	}
 	p.IPID = binary.BigEndian.Uint16(ip[4:6])
 	p.TTL = ip[8]
@@ -287,8 +319,15 @@ func parseInto(p *Packet, frame []byte) error {
 		p.SrcPort = binary.BigEndian.Uint16(trans[0:2])
 		p.DstPort = binary.BigEndian.Uint16(trans[2:4])
 		udpLen := int(binary.BigEndian.Uint16(trans[4:6]))
-		if udpLen < 8 || udpLen > len(trans) {
+		if udpLen < 8 {
 			return ErrBadLength
+		}
+		if udpLen > len(trans) {
+			// Length field promises more bytes than were captured:
+			// deliver the prefix, flagged, instead of dropping the
+			// whole datagram.
+			udpLen = len(trans)
+			p.Truncated = true
 		}
 		p.Payload = trans[8:udpLen]
 	default:

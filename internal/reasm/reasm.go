@@ -20,6 +20,12 @@ const (
 	MaxFlows = 1 << 14
 	// MaxGapSegments caps buffered out-of-order segments per flow.
 	MaxGapSegments = 256
+	// MaxDgramBounds caps recorded datagram boundaries per flow; a
+	// flow spraying more datagrams than this keeps buffering payload
+	// (up to MaxStreamBytes) but further boundaries merge into the
+	// last one, bounding boundary memory the way MaxGapSegments
+	// bounds gap memory.
+	MaxDgramBounds = 4096
 )
 
 // OverlapPolicy selects which copy of a byte wins when segments
@@ -45,7 +51,9 @@ type segment struct {
 	data []byte
 }
 
-// stream is one direction of a TCP connection.
+// stream is one direction of a TCP connection, or — when dgram is set —
+// the ordered concatenation of one direction of a datagram
+// conversation, with per-datagram start offsets preserved in bounds.
 type stream struct {
 	key       netpkt.FlowKey
 	baseSeq   uint32 // sequence number of the first byte of Data
@@ -55,7 +63,9 @@ type stream struct {
 	pendBytes int       // total payload bytes buffered in pending
 	lastSeen  uint64    // timestamp of last activity
 	finished  bool
-	rewritten bool // LastWins changed already-buffered bytes since last report
+	rewritten bool  // LastWins changed already-buffered bytes since last report
+	dgram     bool  // datagram flow (FeedDatagram) rather than TCP
+	bounds    []int // start offset in data of each buffered datagram
 }
 
 // footprint is the stream's buffered-memory cost, used for the
@@ -74,6 +84,15 @@ type Stream struct {
 	// or an inconsistent retransmission that swaps content without
 	// growing the stream would never be re-analyzed.
 	Rewritten bool
+
+	// Dgram marks a datagram flow (built by FeedDatagram): Data is
+	// the in-order concatenation of the flow's datagram payloads and
+	// Bounds holds each datagram's start offset within Data, so
+	// boundary-sensitive extractors (CoAP has no length framing below
+	// the datagram) can walk the individual messages. Bounds is a
+	// reused buffer with the same lifetime as the view itself.
+	Dgram  bool
+	Bounds []int
 }
 
 // Pool limits: how many stream-data buffers the assembler retains for
@@ -85,13 +104,16 @@ const (
 	maxRecycledBuf  = 1 << 18
 	maxFreeStreams  = 256
 	maxFreePendSegs = 16
+	maxFreeBounds   = 256
 )
 
 // Assembler reassembles many flows concurrently-fed from one goroutine.
 type Assembler struct {
-	flows  map[netpkt.FlowKey]*stream
-	bytes  int // sum of per-flow footprints
-	policy OverlapPolicy
+	flows      map[netpkt.FlowKey]*stream
+	bytes      int // sum of per-flow footprints
+	dgramFlows int // tracked datagram flows (subset of flows)
+	dgramBytes int // bytes buffered by datagram flows (subset of bytes)
+	policy     OverlapPolicy
 
 	// onEvict, when set, is invoked for every flow the assembler drops
 	// on its own (capacity overflow, EvictIdle, EvictLRUUntil) — NOT
@@ -161,7 +183,8 @@ func (a *Assembler) getStream(key netpkt.FlowKey) *stream {
 		st := a.freeStreams[n-1]
 		a.freeStreams = a.freeStreams[:n-1]
 		pending := st.pending[:0]
-		*st = stream{key: key, pending: pending}
+		bounds := st.bounds[:0]
+		*st = stream{key: key, pending: pending, bounds: bounds}
 		st.data = a.getBuf()
 		return st
 	}
@@ -173,7 +196,7 @@ func (a *Assembler) getStream(key netpkt.FlowKey) *stream {
 // moved to whoever received the final Stream view; they hand it back
 // through Recycle when done.
 func (a *Assembler) putStream(st *stream) {
-	if len(a.freeStreams) >= maxFreeStreams || cap(st.pending) > maxFreePendSegs {
+	if len(a.freeStreams) >= maxFreeStreams || cap(st.pending) > maxFreePendSegs || cap(st.bounds) > maxFreeBounds {
 		return
 	}
 	st.data = nil
@@ -181,6 +204,7 @@ func (a *Assembler) putStream(st *stream) {
 		st.pending[i] = segment{}
 	}
 	st.pending = st.pending[:0]
+	st.bounds = st.bounds[:0]
 	a.freeStreams = append(a.freeStreams, st)
 }
 
@@ -246,9 +270,45 @@ func (a *Assembler) result(st *stream, grew bool) *Stream {
 	if len(st.data) == 0 {
 		return nil
 	}
-	a.res = Stream{Key: st.key, Data: st.data, Finished: st.finished, Rewritten: st.rewritten}
+	a.res = Stream{Key: st.key, Data: st.data, Finished: st.finished, Rewritten: st.rewritten, Dgram: st.dgram, Bounds: st.bounds}
 	st.rewritten = false // reported; the consumer owns the reset now
 	return &a.res
+}
+
+// FeedDatagram appends one datagram's payload to its flow's buffer,
+// creating the flow on first sight and recording the datagram's start
+// offset so message boundaries survive concatenation. It returns the
+// flow's accumulated stream when the buffer grew (nil otherwise) —
+// the same reused-view contract as Feed. Datagram flows share the
+// assembler's flow table, byte accounting and eviction machinery with
+// TCP streams; their keys never collide (the Proto field differs).
+func (a *Assembler) FeedDatagram(key netpkt.FlowKey, payload []byte, tsUS uint64) *Stream {
+	st := a.flows[key]
+	if st == nil {
+		if len(a.flows) >= MaxFlows {
+			a.evictIdle()
+		}
+		st = a.getStream(key)
+		st.dgram = true
+		a.flows[key] = st
+		a.dgramFlows++
+	}
+	st.lastSeen = tsUS
+	if len(payload) == 0 {
+		return a.result(st, false)
+	}
+	before := len(st.data)
+	st.data = appendCapped(st.data, payload)
+	added := len(st.data) - before
+	if added == 0 {
+		return a.result(st, false)
+	}
+	if len(st.bounds) < MaxDgramBounds {
+		st.bounds = append(st.bounds, before)
+	}
+	a.bytes += added
+	a.dgramBytes += added
+	return a.result(st, true)
 }
 
 // insert merges a segment, returning true if contiguous data grew.
@@ -356,15 +416,25 @@ func appendCapped(dst, src []byte) []byte {
 // flow's data, so its buffer is recycled directly; with a handler, the
 // handler decides (by calling Recycle when it is done synchronously).
 func (a *Assembler) evict(st *stream) {
-	a.bytes -= st.footprint()
+	a.noteRemove(st)
 	delete(a.flows, st.key)
 	if a.onEvict != nil {
-		ev := Stream{Key: st.key, Data: st.data, Finished: false}
+		ev := Stream{Key: st.key, Data: st.data, Finished: false, Dgram: st.dgram, Bounds: st.bounds}
 		a.onEvict(&ev)
 	} else {
 		a.Recycle(st.data)
 	}
 	a.putStream(st)
+}
+
+// noteRemove updates the byte and datagram accounting for a stream
+// leaving the flow table (evict, Close, Drain).
+func (a *Assembler) noteRemove(st *stream) {
+	a.bytes -= st.footprint()
+	if st.dgram {
+		a.dgramFlows--
+		a.dgramBytes -= len(st.data)
+	}
 }
 
 // lruOrder returns all streams sorted by last activity, oldest first.
@@ -399,6 +469,22 @@ func (a *Assembler) EvictIdle(olderThanUS uint64) int {
 	return n
 }
 
+// EvictDgramIdle drops datagram flows whose last activity predates
+// olderThanUS, leaving TCP streams alone — the tighter idle window
+// datagram conversations get when configured separately from the
+// flow-wide timeout. Each evicted flow is handed to the evict handler
+// first.
+func (a *Assembler) EvictDgramIdle(olderThanUS uint64) int {
+	n := 0
+	for _, st := range a.flows {
+		if st.dgram && st.lastSeen < olderThanUS {
+			a.evict(st)
+			n++
+		}
+	}
+	return n
+}
+
 // EvictLRUUntil drops least-recently-active flows until the buffered
 // byte total is at or below budget, reporting how many were evicted.
 func (a *Assembler) EvictLRUUntil(budget int) int {
@@ -425,20 +511,26 @@ func (a *Assembler) Close(key netpkt.FlowKey) *Stream {
 	if st == nil {
 		return nil
 	}
-	a.bytes -= st.footprint()
+	a.noteRemove(st)
 	delete(a.flows, key)
-	data := st.data
+	data, bounds, dg := st.data, st.bounds, st.dgram
 	a.putStream(st)
 	if len(data) == 0 {
 		a.Recycle(data)
 		return nil
 	}
-	a.res = Stream{Key: key, Data: data, Finished: true}
+	a.res = Stream{Key: key, Data: data, Finished: true, Dgram: dg, Bounds: bounds}
 	return &a.res
 }
 
 // FlowCount reports the number of tracked flows (for metrics).
 func (a *Assembler) FlowCount() int { return len(a.flows) }
+
+// DgramFlowCount reports the number of tracked datagram flows.
+func (a *Assembler) DgramFlowCount() int { return a.dgramFlows }
+
+// DgramBytes reports the bytes buffered by datagram flows.
+func (a *Assembler) DgramBytes() int { return a.dgramBytes }
 
 // Drain removes and returns every tracked flow's stream (used when a
 // trace ends without FINs on all connections). Each returned stream's
@@ -447,11 +539,11 @@ func (a *Assembler) Drain() []*Stream {
 	var out []*Stream
 	for k, st := range a.flows {
 		if len(st.data) > 0 {
-			out = append(out, &Stream{Key: k, Data: st.data, Finished: true})
+			out = append(out, &Stream{Key: k, Data: st.data, Finished: true, Dgram: st.dgram, Bounds: st.bounds})
 		} else {
 			a.Recycle(st.data)
 		}
-		a.bytes -= st.footprint()
+		a.noteRemove(st)
 		delete(a.flows, k)
 		a.putStream(st)
 	}

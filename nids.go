@@ -220,6 +220,21 @@ type EngineConfig struct {
 	// analyzing their unfinished tail first (default 60s).
 	FlowIdleTimeout time.Duration
 
+	// DatagramFlows buffers UDP payloads per 5-tuple conversation
+	// (request and reply share one flow) inside an idle window, so
+	// multi-datagram payloads — CoAP block-wise transfers in
+	// particular — are reassembled and analyzed as one unit with their
+	// datagram boundaries preserved. Off (the default), every
+	// payload-bearing datagram is analyzed on its own and all reports
+	// are byte-identical to previous builds.
+	DatagramFlows bool
+
+	// DatagramIdle is the idle window closing a datagram conversation
+	// (its buffered tail is analyzed on eviction). Defaults to
+	// FlowIdleTimeout; values above it are ignored — the flow-wide
+	// idle sweep fires first.
+	DatagramIdle time.Duration
+
 	// FlowByteBudget caps reassembly buffering per shard; LRU flows
 	// beyond it are tail-analyzed and evicted (default 64 MiB).
 	FlowByteBudget int
@@ -481,6 +496,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Shards:            cfg.Shards,
 		QueueDepth:        cfg.QueueDepth,
 		FlowIdleTimeoutUS: uint64(cfg.FlowIdleTimeout / time.Microsecond),
+		DatagramFlows:     cfg.DatagramFlows,
+		DatagramIdleUS:    uint64(cfg.DatagramIdle / time.Microsecond),
 		ShardByteBudget:   cfg.FlowByteBudget,
 		VerdictCacheSize:  cfg.VerdictCacheSize,
 		FullScan:          cfg.FullScan,
